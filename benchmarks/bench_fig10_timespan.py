@@ -1,0 +1,28 @@
+"""Figure 10 — item batch time span (BF-ts+clock).
+
+Regenerates all four panels. Reproduced shapes: error falls with
+memory; the clocked sketch beats the naive 64-bit-timestamp design at
+small memory; stability over time.
+"""
+
+from repro.bench.experiments import fig10_timespan
+
+from conftest import run_once
+
+
+def test_fig10_timespan(benchmark, record_result):
+    result = run_once(benchmark, fig10_timespan.run, seed=1)
+    record_result("fig10", result)
+
+    panel_b = [r for r in result.rows if r["panel"] == "b"]
+    smallest = min(r["memory_kb"] for r in panel_b)
+    at_small = {r["algorithm"]: r["error_rate"] for r in panel_b
+                if r["memory_kb"] == smallest}
+    assert at_small["bf_ts_clock"] <= at_small["naive"]
+
+    # Memory helps within the clocked series.
+    clocked = sorted(
+        (r for r in panel_b if r["algorithm"] == "bf_ts_clock"),
+        key=lambda r: r["memory_kb"],
+    )
+    assert clocked[-1]["error_rate"] <= clocked[0]["error_rate"] + 1e-6

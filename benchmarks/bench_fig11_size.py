@@ -1,0 +1,33 @@
+"""Figure 11 — item batch size (CM+clock).
+
+Regenerates all four panels. Reproduced shapes: the clocked sketch
+beats the naive timestamp design at small memory; ARE falls with
+memory; the optimal clock width grows with memory (3-4 small, 8 at
+64 KB, §6.5).
+"""
+
+from repro.bench.experiments import fig11_size
+
+from conftest import run_once
+
+
+def test_fig11_size(benchmark, record_result):
+    result = run_once(benchmark, fig11_size.run, seed=1)
+    record_result("fig11", result)
+
+    panel_b = [r for r in result.rows if r["panel"] == "b"]
+    smallest = min(r["memory_kb"] for r in panel_b)
+    at_small = {r["algorithm"]: r["are"] for r in panel_b
+                if r["memory_kb"] == smallest}
+    assert at_small["cm_clock"] <= at_small["naive"]
+
+    # Optimal s at the largest panel-(a) memory is at least the optimal
+    # s at the smallest (the paper's "optimum grows with memory").
+    panel_a = [r for r in result.rows if r["panel"] == "a"]
+    memories = sorted({r["memory_kb"] for r in panel_a})
+
+    def optimal_s(memory):
+        rows = [r for r in panel_a if r["memory_kb"] == memory]
+        return min(rows, key=lambda r: r["are"])["s"]
+
+    assert optimal_s(memories[-1]) >= optimal_s(memories[0])

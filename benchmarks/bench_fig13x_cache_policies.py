@@ -1,0 +1,26 @@
+"""Figure 13 extended — all cache policies on batchy and periodic traces.
+
+Beyond-the-paper bench: adds LRU, classic CLOCK, batch-weighted LFU and
+the periodicity prefetcher to the Figure 13 comparison.
+"""
+
+from repro.bench.experiments import fig13x_cache_policies
+
+from conftest import run_once
+
+
+def test_fig13x_cache_policies(benchmark, record_result):
+    result = run_once(benchmark, fig13x_cache_policies.run, seed=1)
+    record_result("fig13x", result)
+
+    smallest = min(r["cache_size"] for r in result.rows)
+    batchy = next(r for r in result.rows
+                  if r["trace"] == "batchy" and r["cache_size"] == smallest)
+    periodic = next(r for r in result.rows
+                    if r["trace"] == "periodic" and r["cache_size"] == smallest)
+    # Batch-aware eviction beats LFU on the batch-patterned trace.
+    assert batchy["bf_clock_hit"] > batchy["lfu_hit"]
+    # Only the prefetcher catches periodic batch starts.
+    demand_best = max(periodic[f"{p}_hit"]
+                      for p in ("lfu", "lru", "clock", "bf_clock"))
+    assert periodic["prefetch_hit"] > demand_best

@@ -1,0 +1,21 @@
+"""Table 3 — throughput and accuracy of all four Clock-sketch variants.
+
+Regenerates the single-thread / multi-thread / SIMD comparison under
+the DESIGN.md mapping (scalar / deferred-scalar / deferred+vectorised).
+Reproduced shapes: SIMD far above single-thread for every variant;
+multi-thread accuracy within a whisker of single-thread.
+"""
+
+from repro.bench.experiments import table3_throughput
+
+from conftest import run_once
+
+
+def test_table3_throughput(benchmark, record_result):
+    result = run_once(benchmark, table3_throughput.run, seed=1)
+    record_result("table3", result)
+
+    for row in result.rows:
+        assert row["simd_mops"] > row["single_mops"]
+        if row["accuracy_single"] is not None:
+            assert row["accuracy_multi"] <= row["accuracy_single"] + 0.05

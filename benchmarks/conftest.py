@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs one paper experiment (at paper parameters unless
+noted), times it via pytest-benchmark, prints the reproduced series,
+and archives it under ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Save an ExperimentResult's rendering to benchmarks/results/."""
+
+    def _record(name, result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Execute an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)

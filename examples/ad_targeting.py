@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Ad-targeting analytics over a click stream (§1.1 case 4).
+
+Simulates customers clicking commodity types: *focused* shoppers click
+within one or two interests at a time (long batches), *aimless*
+shoppers hop across many commodity types. :class:`repro.apps.AdAnalytics`
+classifies them from sketches and picks the paper's ad strategy for
+each.
+
+Run:  python examples/ad_targeting.py
+"""
+
+import numpy as np
+
+from repro import count_window
+from repro.apps import AdAnalytics
+
+COMMODITIES = ["laptops", "phones", "shoes", "books", "tea", "drones",
+               "plants", "lamps", "bikes", "watches"]
+
+
+def make_clicks(seed: int = 9):
+    """Interleaved click streams of focused and aimless customers."""
+    rng = np.random.default_rng(seed)
+    events = []
+    focused = [f"focused-{i}" for i in range(5)]
+    aimless = [f"aimless-{i}" for i in range(5)]
+    for customer in focused:
+        interest = rng.choice(COMMODITIES)
+        events.extend((customer, interest) for _ in range(40))
+    for customer in aimless:
+        picks = rng.choice(COMMODITIES, size=40)
+        events.extend((customer, c) for c in picks)
+    rng.shuffle(events)
+    return events, focused, aimless
+
+
+def main() -> None:
+    events, focused, aimless = make_clicks()
+    ads = AdAnalytics(count_window(len(events)), focus_threshold=3.0,
+                      memory="32KB", seed=4)
+    for customer, commodity in events:
+        ads.observe(customer, commodity)
+
+    print(f"{'customer':>12} {'active interests':>17} {'strategy':>26}")
+    correct = 0
+    for customer in focused + aimless:
+        profile = ads.profile(customer)
+        expected_focused = customer.startswith("focused")
+        correct += profile.focused == expected_focused
+        print(f"{customer:>12} {profile.active_interests:>17.1f} "
+              f"{profile.strategy:>26}")
+    print(f"\nclassified {correct}/{len(focused) + len(aimless)} correctly")
+
+    # Enduring interests: batches that lasted at least half the stream.
+    enduring = [
+        (c, COMMODITIES[i])
+        for c in focused
+        for i in range(len(COMMODITIES))
+        if ads.enduring_interest(c, COMMODITIES[i], len(events) // 4)
+    ]
+    print(f"enduring (customer, interest) pairs found: {len(enduring)}")
+    print(f"new-interest events observed: {len(ads.new_interest_events())}")
+
+
+if __name__ == "__main__":
+    main()

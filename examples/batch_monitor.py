@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The one-object interface: ItemBatchMonitor with a live cleaner.
+
+Shows the library's facade: a single monitor answering all four batch
+questions under one memory budget, then the same monitor style under a
+*real* background cleaning thread for wall-clock windows (the paper's
+deployment architecture).
+
+Run:  python examples/batch_monitor.py
+"""
+
+import time
+
+from repro import ClockBloomFilter, ItemBatchMonitor, count_window, time_window
+from repro.concurrent import BackgroundCleaner, ThreadSafeSketch
+from repro.datasets import caida_like
+
+
+def monitor_demo() -> None:
+    window = count_window(4096)
+    stream = caida_like(n_items=40_000, window_hint=4096, seed=5)
+    monitor = ItemBatchMonitor(window, memory="128KB", seed=1)
+    monitor.observe_stream(stream)
+
+    print(f"monitor: {monitor}")
+    print(f"predicted activeness FPR: {monitor.predicted_fpr():.2e}")
+    print(f"active batches right now: {monitor.active_batches():.0f}")
+    busiest = max(
+        set(stream.keys[-2000:].tolist()),
+        key=lambda key: monitor.batch_size(int(key)),
+    )
+    report = monitor.report(int(busiest))
+    print(f"busiest recent key {report.key}: active={report.active} "
+          f"size={report.size} span={report.span:.0f}")
+    print()
+
+
+def live_cleaner_demo() -> None:
+    # A 0.2-second wall-clock window cleaned by a real daemon thread:
+    # entries expire even though nothing queries or inserts.
+    sketch = ThreadSafeSketch(
+        ClockBloomFilter(n=1024, k=3, s=4, window=time_window(0.2))
+    )
+    with BackgroundCleaner(sketch, interval=0.005) as cleaner:
+        sketch.insert("session-42", t=cleaner.now())
+        print("inserted session-42;",
+              "active:", sketch.contains("session-42", t=cleaner.now()))
+        time.sleep(0.35)  # > T * (1 + 1/(2^4 - 2))
+        print("0.35s later (no operations ran);",
+              "active:", sketch.contains("session-42", t=cleaner.now()))
+        print(f"cleaner ran {cleaner.ticks} background ticks")
+
+
+if __name__ == "__main__":
+    monitor_demo()
+    live_cleaner_demo()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the four item-batch measurements on one stream.
+
+Builds all four Clock-sketch variants over the same synthetic
+batch-patterned stream and compares every answer against the exact
+ground truth — the 60-second tour of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BatchTracker,
+    ClockBitmap,
+    ClockBloomFilter,
+    ClockCountMin,
+    ClockTimeSpanSketch,
+    count_window,
+)
+from repro.datasets import caida_like
+
+
+def main() -> None:
+    window = count_window(4096)
+    stream = caida_like(n_items=40_000, window_hint=4096, seed=7)
+    print(f"stream: {stream} with {stream.distinct_keys()} distinct keys")
+
+    # The four measurement structures, each on a small memory budget.
+    activeness = ClockBloomFilter.from_memory("8KB", window, seed=1)
+    cardinality = ClockBitmap.from_memory("8KB", window, seed=2)
+    span = ClockTimeSpanSketch.from_memory("64KB", window, seed=3)
+    size = ClockCountMin.from_memory("64KB", window, seed=4)
+    truth = BatchTracker(window)
+
+    for sketch in (activeness, cardinality, span, size):
+        sketch.insert_many(stream.keys)
+    truth.observe_stream(stream)
+
+    # --- Activeness: query a mix of active and expired keys. ---------
+    rng = np.random.default_rng(0)
+    sample = rng.choice(stream.keys, size=200, replace=False)
+    agree = sum(
+        activeness.contains(int(key)) == truth.is_active(int(key))
+        for key in sample
+    )
+    print(f"activeness: sketch agrees with truth on {agree}/200 sampled keys")
+
+    # --- Cardinality: one number against the exact count. ------------
+    estimate = cardinality.estimate()
+    exact = truth.active_cardinality()
+    print(f"cardinality: estimated {estimate.value:.0f} active batches, "
+          f"exactly {exact}")
+
+    # --- Span and size: per-batch answers for a busy key. -------------
+    active_keys = truth.active_keys()
+    busy = max(active_keys, key=lambda key: truth.size(key))
+    result = span.query(busy)
+    print(f"busiest active key {busy}: "
+          f"span sketch={result.span:.0f} truth={truth.span(busy):.0f}; "
+          f"size sketch={size.query(busy)} truth={truth.size(busy)}")
+
+    print("memory: "
+          f"activeness={activeness.memory_bits() // 8192}KB, "
+          f"cardinality={cardinality.memory_bits() // 8192}KB, "
+          f"span={span.memory_bits() // 8192}KB, "
+          f"size={size.memory_bits() // 8192}KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Inspecting the batch structure of a trace.
+
+Profiles the three synthetic dataset stand-ins with the statistics
+toolkit — the properties the sketches are sensitive to: batch sizes and
+spans, popularity skew, and the stability of the active-batch count
+over time. Use the same functions on your own traces via
+``repro.datasets.loader.load_trace``.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro import count_window
+from repro.datasets import caida_like, criteo_like, network_like
+from repro.streams import activity_series, describe, popularity_skew
+
+WINDOW = 4096
+ITEMS = 80_000
+
+
+def main() -> None:
+    window = count_window(WINDOW)
+    for factory in (caida_like, criteo_like, network_like):
+        stream = factory(n_items=ITEMS, window_hint=WINDOW, seed=1)
+        print(f"=== {stream.name} (T={WINDOW}) ===")
+        print(describe(stream, window).render())
+        print(f"popularity       top 10% of keys hold "
+              f"{popularity_skew(stream, 0.1):.0%} of items")
+        _times, counts = activity_series(stream, window, points=8)
+        series = " ".join(str(c) for c in counts)
+        print(f"active batches   {series}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Clock-Sketch: measuring item batches in data streams.
+
+A production-quality Python reproduction of "Out of Many We are One:
+Measuring Item Batch with Clock-Sketch" (SIGMOD 2021). An *item batch*
+is a run of identical items whose inter-arrival gaps stay below a
+window ``T``; the library measures batch activeness, cardinality, time
+span, and size with the paper's clock-augmented sketches, and ships the
+state-of-the-art baselines, dataset synthesizers, exact ground truth,
+and the full experiment harness reproducing every figure and table of
+the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import ClockBloomFilter, count_window
+>>> bf = ClockBloomFilter.from_memory("8KB", count_window(1024))
+>>> bf.insert("flow-a")
+>>> bf.contains("flow-a")
+True
+"""
+
+from .core import (
+    ClockArray,
+    ClockBloomFilter,
+    ClockBitmap,
+    ClockCountMin,
+    ClockTimeSpanSketch,
+    CardinalityEstimate,
+    TimeSpanResult,
+)
+from .monitor import BatchReport, ItemBatchMonitor
+from .serialize import dump_sketch, dumps_sketch, load_sketch, loads_sketch
+from .streams import BatchTracker, Batch, Stream, segment_batches
+from .timebase import WindowKind, WindowSpec, count_window, time_window
+from .units import format_bits, parse_memory
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    EstimatorSaturatedError,
+    MemoryBudgetError,
+    ReproError,
+    TimeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockArray",
+    "ClockBloomFilter",
+    "ClockBitmap",
+    "ClockCountMin",
+    "ClockTimeSpanSketch",
+    "CardinalityEstimate",
+    "TimeSpanResult",
+    "ItemBatchMonitor",
+    "BatchReport",
+    "dump_sketch",
+    "dumps_sketch",
+    "load_sketch",
+    "loads_sketch",
+    "BatchTracker",
+    "Batch",
+    "Stream",
+    "segment_batches",
+    "WindowKind",
+    "WindowSpec",
+    "count_window",
+    "time_window",
+    "format_bits",
+    "parse_memory",
+    "ReproError",
+    "ConfigurationError",
+    "MemoryBudgetError",
+    "TimeError",
+    "EstimatorSaturatedError",
+    "DatasetError",
+    "__version__",
+]

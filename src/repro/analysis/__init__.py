@@ -1,0 +1,39 @@
+"""Closed-form error models from the paper's §5.
+
+One module per measurement task, each implementing the section's
+equations and an ``optimal_s`` search used by Figures 5/9a/10a/11a:
+
+- :mod:`repro.analysis.membership` — §5.1, eqs (1)-(8): FPR of
+  BF+clock, the s = 2 optimum, and the TBF/SWAMP memory comparisons.
+- :mod:`repro.analysis.cardinality` — §5.2, eqs (9)-(15): the relative
+  error bound of BM+clock.
+- :mod:`repro.analysis.timespan` — §5.3, eqs (16)-(23): the error model
+  of BF-ts+clock under the exponential stream model.
+- :mod:`repro.analysis.size` — §5.4, eqs (24)-(33): the error model of
+  CM+clock.
+"""
+
+from .membership import (
+    membership_fpr,
+    membership_fpr_at_optimal_k,
+    memory_for_fpr,
+    optimal_s_membership,
+    swamp_memory_lower_bound,
+)
+from .cardinality import cardinality_re_bound, optimal_s_cardinality
+from .timespan import timespan_error, optimal_s_timespan
+from .size import size_error_threshold, optimal_s_size
+
+__all__ = [
+    "membership_fpr",
+    "membership_fpr_at_optimal_k",
+    "memory_for_fpr",
+    "optimal_s_membership",
+    "swamp_memory_lower_bound",
+    "cardinality_re_bound",
+    "optimal_s_cardinality",
+    "timespan_error",
+    "optimal_s_timespan",
+    "size_error_threshold",
+    "optimal_s_size",
+]

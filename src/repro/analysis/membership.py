@@ -1,0 +1,87 @@
+"""§5.1 — analytical FPR of BF+clock (item batch membership).
+
+The chain of results, with ``M`` the memory in bits, ``T`` the window,
+``s`` the clock width, ``n = M/s`` cells:
+
+- effective load: ``T (1 + 1/(2(2^s - 2)))`` valid hash mappings (half
+  of an outdated element's mappings survive on average)  — eq (1);
+- optimal ``k``: the Bloom optimum against that load — below eq (1);
+- FPR at optimal ``k``: ``2^(-k)``  — eqs (2)-(3);
+- the minimum over integer ``s >= 2`` is at ``s = 2``, giving
+  ``f* ≈ 0.8351^(M/T)``  — eq (4);
+- memory needed for FPR ε: ``M ≈ 3.8472 T log2(1/ε)``  — eq (6);
+- SWAMP's lower bound: ``M > T log2(T/ε)``  — eq (7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import active_load
+from ..errors import ConfigurationError
+
+__all__ = [
+    "membership_fpr",
+    "membership_fpr_at_optimal_k",
+    "optimal_s_membership",
+    "memory_for_fpr",
+    "swamp_memory_lower_bound",
+    "tbf_fpr_scale",
+]
+
+
+def membership_fpr(memory_bits: float, window_length: float, s: int,
+                   k: "int | None" = None) -> float:
+    """Eq (1)/(3): predicted FPR of BF+clock at the given parameters.
+
+    With ``k`` omitted, uses the (real-valued) optimal ``k`` and the
+    ``2^-k`` simplification of eq (3).
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock size must be >= 2, got {s}")
+    n = memory_bits / s
+    load = active_load(window_length, s)
+    if k is None:
+        k = n * math.log(2) / load
+        return math.pow(2.0, -k)
+    exponent = -k * load / n
+    return (1.0 - math.exp(exponent)) ** k
+
+
+def membership_fpr_at_optimal_k(memory_bits: float, window_length: float,
+                                s: int) -> float:
+    """Eq (3): FPR at the optimal hash count, ``2^(-n ln2 / load)``."""
+    return membership_fpr(memory_bits, window_length, s, k=None)
+
+
+def optimal_s_membership(memory_bits: float, window_length: float,
+                         s_candidates=range(2, 9)) -> int:
+    """Arg-min of eq (3) over integer clock widths; §5.1 proves it is 2."""
+    return min(
+        s_candidates,
+        key=lambda s: membership_fpr_at_optimal_k(memory_bits, window_length, s),
+    )
+
+
+def memory_for_fpr(epsilon: float, window_length: float) -> float:
+    """Eq (6): bits BF+clock needs for a target FPR ε (at s = 2)."""
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return (8.0 / (3.0 * math.log(2))) * window_length * math.log2(1.0 / epsilon)
+
+
+def swamp_memory_lower_bound(epsilon: float, window_length: float) -> float:
+    """Eq (7): SWAMP's memory lower bound ``T log2(T/ε)`` in bits."""
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return window_length * math.log2(window_length / epsilon)
+
+
+def tbf_fpr_scale(memory_bits: float, window_length: float) -> float:
+    """Eq (5): TBF's FPR scale ``0.6185^(M / (T log T))``.
+
+    Only the scale matters (the paper states it with an O(.)); used to
+    confirm BF+clock's ``log T`` advantage.
+    """
+    exponent = memory_bits / (window_length * math.log2(max(window_length, 2.0)))
+    return 0.6185 ** exponent

@@ -1,0 +1,69 @@
+"""§5.4 — analytical error of CM+clock (item batch size).
+
+Same exponential stream model as §5.3 (births at rate ``n0``,
+lifetimes Exp(λ1), sizes Exp(λ2)). Eq (30) gives the expected
+per-counter contamination ``E[X_i + Y_i] ≈ (n0 + λ2)/(n λ1 λ2)``;
+eq (33) adds the error-window interruption term. Because the bound is
+a tail probability at a threshold rather than a single number, the
+model exposes the threshold (eq 32/33) and an ``optimal_s`` that
+minimises the threshold-plus-interruption combination, reproducing
+§6.5's "s = 3-4 at small memory, s = 8 at 64 KB+".
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["size_error_threshold", "optimal_s_size"]
+
+DEFAULT_COUNTER_BITS = 16
+
+
+def size_error_threshold(memory_bits: float, window_length: float, s: int,
+                         k: int = 3, birth_rate: float = 1.0,
+                         death_rate: "float | None" = None,
+                         size_rate: "float | None" = None,
+                         counter_bits: int = DEFAULT_COUNTER_BITS,
+                         c: float = math.e) -> float:
+    """Eq (33)'s combined error score at confidence scale ``c``.
+
+    Returns ``threshold + window_length * interruption_probability``:
+    the absolute-error threshold of eq (32) exceeded with probability
+    at most ``c^-k``, plus the expected contribution of error-window
+    interruptions (each can corrupt the minimum by up to a window's
+    worth of stale count). Lower is better; used only for comparing
+    clock widths, as in §5.4's closing discussion.
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock size must be >= 2, got {s}")
+    if c <= 1:
+        raise ConfigurationError(f"confidence scale c must exceed 1, got {c}")
+    lam1 = death_rate if death_rate is not None else 4.0 / window_length
+    lam2 = size_rate if size_rate is not None else 8.0 / window_length
+    # Eq (32): threshold with n = M / (k (s + b)) counters per row.
+    threshold = (
+        c * k * (s + counter_bits) * (birth_rate + lam2)
+        / (memory_bits * lam1 * lam2)
+    )
+    # §5.4's interruption probability (same form as §5.3's f2 head).
+    interruption = (
+        lam1 * window_length
+        / ((lam1 * window_length + birth_rate * ((1 << s) - 2)) * (k + 1))
+    )
+    return threshold + window_length * interruption
+
+
+def optimal_s_size(memory_bits: float, window_length: float, k: int = 3,
+                   birth_rate: float = 1.0,
+                   death_rate: "float | None" = None,
+                   size_rate: "float | None" = None,
+                   s_candidates=range(2, 17)) -> int:
+    """Arg-min of the §5.4 error score over integer clock widths."""
+    return min(
+        s_candidates,
+        key=lambda s: size_error_threshold(
+            memory_bits, window_length, s, k, birth_rate, death_rate, size_rate
+        ),
+    )

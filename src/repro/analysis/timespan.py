@@ -1,0 +1,73 @@
+"""§5.3 — analytical error of BF-ts+clock (item batch time span).
+
+The stream model: new streams (batches) are born at rate ``n0`` per
+time unit; a stream's lifetime is Exp(λ1). In balance there are
+``x = n0/λ1`` active streams. The error has two parts:
+
+- ``f1`` — hash collisions among the (at most) ``x + x1 + x2`` streams
+  still occupying cells, a Bloom-style term, eq (22);
+- ``f2`` — interruptions by outdated elements in the error window,
+  eqs (18)-(21), each wrong with probability ``1/(k+1)``.
+
+Eq (23) combines them with ``n = M/(s+t)`` cells (``t`` = 64 timestamp
+bits). The optimal ``s`` "generally lies in [8, 64], increases with M
+and decreases with T", which the optimizer below reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = ["timespan_error", "optimal_s_timespan"]
+
+#: 64-bit timestamps, as in the paper's experiments.
+TIMESTAMP_BITS = 64
+
+
+def timespan_error(memory_bits: float, window_length: float, s: int,
+                   k: int = 2, birth_rate: float = 1.0,
+                   death_rate: "float | None" = None,
+                   timestamp_bits: int = TIMESTAMP_BITS) -> float:
+    """Eq (23): predicted error rate F(s) of BF-ts+clock.
+
+    Parameters
+    ----------
+    birth_rate:
+        ``n0``, new streams per time unit.
+    death_rate:
+        ``λ1``; defaults to balancing ``x = n0 * T / 4`` active streams
+        (a quarter-window mean lifetime, matching the synthetic
+        workloads' scale).
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock size must be >= 2, got {s}")
+    lam1 = death_rate if death_rate is not None else 4.0 / window_length
+    n = memory_bits / (s + timestamp_bits)
+    error_window = window_length / ((1 << s) - 2)
+    x = birth_rate / lam1
+
+    # Eq (18): streams older than the window dying inside the error window.
+    x1 = x * (1.0 - math.exp(-lam1 * error_window))
+    # Eq (19): streams born and dead inside the error window.
+    x2 = error_window - (1.0 - math.exp(-lam1 * error_window)) / lam1
+
+    # Eq (21): interruption errors, each wrong w.p. 1/(k+1).
+    f2 = (x1 + x2) / ((x1 + x2 + x) * (k + 1))
+    # Eq (22): Bloom-style collision term over the occupied streams.
+    f1 = (1.0 - math.exp(-k * (x + x1 + x2) / n)) ** k
+    return f1 + f2
+
+
+def optimal_s_timespan(memory_bits: float, window_length: float, k: int = 2,
+                       birth_rate: float = 1.0,
+                       death_rate: "float | None" = None,
+                       s_candidates=range(2, 33)) -> int:
+    """Arg-min of eq (23) over integer clock widths."""
+    return min(
+        s_candidates,
+        key=lambda s: timespan_error(
+            memory_bits, window_length, s, k, birth_rate, death_rate
+        ),
+    )

@@ -1,0 +1,28 @@
+"""Application-layer utilities built on the Clock-sketch public API.
+
+These implement the paper's four motivating use cases (§1.1) as
+reusable components:
+
+- :mod:`repro.apps.burst` — per-flow real-time burst detection (case 2):
+  batches with large size but small span.
+- :mod:`repro.apps.apt` — APT detection (case 3): flows with small
+  batches, long gaps, and many batches in total.
+- :mod:`repro.apps.ads` — online-advertising analytics (case 4):
+  classifying customers by their number of simultaneously active
+  interest batches.
+
+(Case 1, caching, lives in :mod:`repro.cache`.)
+"""
+
+from .burst import BurstDetector, BurstEvent
+from .apt import AptDetector, SuspiciousFlow
+from .ads import AdAnalytics, CustomerProfile
+
+__all__ = [
+    "BurstDetector",
+    "BurstEvent",
+    "AptDetector",
+    "SuspiciousFlow",
+    "AdAnalytics",
+    "CustomerProfile",
+]

@@ -1,0 +1,122 @@
+"""Online-advertising analytics (paper §1.1, case 4).
+
+Click streams are keyed by (customer, commodity type): a batch is a run
+of clicks by one customer on one commodity. The paper's insight:
+customers with few simultaneously active batches shop *focused* (target
+them with ads for their current interest), customers with many are
+*aimless* (target them with new/popular products).
+
+:class:`AdAnalytics` tracks global batch state with one Clock-sketch
+over the (customer, commodity) pair space, plus a per-customer
+BM+clock for the active-interest count that drives the classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.activeness import ClockBloomFilter
+from ..core.cardinality import ClockBitmap
+from ..core.timespan import ClockTimeSpanSketch
+from ..timebase import WindowSpec
+
+__all__ = ["AdAnalytics", "CustomerProfile"]
+
+
+@dataclass(frozen=True)
+class CustomerProfile:
+    """A customer's current shopping profile."""
+
+    customer: object
+    active_interests: float
+    focused: bool
+
+    @property
+    def strategy(self) -> str:
+        """The ad strategy the paper prescribes for this profile."""
+        return "targeted-current-interest" if self.focused else "new-and-popular"
+
+
+class AdAnalytics:
+    """Classifies customers by their simultaneously active interests.
+
+    Parameters
+    ----------
+    window:
+        The batch gap threshold ``T`` (click-session scale).
+    focus_threshold:
+        Customers with at most this many active interest batches are
+        classified as focused.
+    per_customer_memory:
+        Budget of each customer's interest bitmap, in bytes.
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> ads = AdAnalytics(count_window(16), focus_threshold=2)
+    >>> for _ in range(4):
+    ...     ads.observe("alice", "laptops")
+    >>> for c in ["laptops", "socks", "drones", "tea", "vases", "kayaks"]:
+    ...     ads.observe("bob", c)
+    >>> ads.profile("alice").focused, ads.profile("bob").focused
+    (True, False)
+    """
+
+    def __init__(self, window: WindowSpec, focus_threshold: float = 3.0,
+                 memory="16KB", per_customer_memory: int = 256,
+                 seed: int = 0):
+        self.window = window
+        self.focus_threshold = float(focus_threshold)
+        self.per_customer_memory = int(per_customer_memory)
+        self.seed = seed
+        # Global structures over (customer, commodity) pairs.
+        self.batch_active = ClockBloomFilter.from_memory(memory, window,
+                                                         seed=seed)
+        self.batch_span = ClockTimeSpanSketch.from_memory(memory, window,
+                                                          seed=seed + 1)
+        # Per-customer active-interest bitmaps, created on first click.
+        self._interests: "dict[object, ClockBitmap]" = {}
+        self._new_batches: "list[tuple[object, object, float]]" = []
+
+    def observe(self, customer, commodity, t=None) -> None:
+        """Record one click by ``customer`` on ``commodity``."""
+        pair = (customer, commodity)
+        if not self.batch_active.contains(pair, t):
+            # A brand-new interest batch: the paper's "new focus" signal.
+            self._new_batches.append((customer, commodity,
+                                      self.batch_active.now))
+        self.batch_active.insert(pair, t)
+        self.batch_span.insert(pair, t)
+        bitmap = self._interests.get(customer)
+        if bitmap is None:
+            bitmap = ClockBitmap.from_memory(
+                self.per_customer_memory, self.window, s=4,
+                seed=self.seed + 17,
+            )
+            self._interests[customer] = bitmap
+        bitmap.insert(commodity, t)
+
+    def profile(self, customer) -> CustomerProfile:
+        """Classify the customer as focused or aimless right now."""
+        bitmap = self._interests.get(customer)
+        active = bitmap.estimate().value if bitmap is not None else 0.0
+        return CustomerProfile(
+            customer=customer,
+            active_interests=active,
+            focused=active <= self.focus_threshold,
+        )
+
+    def enduring_interest(self, customer, commodity, min_span: float):
+        """Has this interest batch lasted at least ``min_span``?
+
+        Returns the measured span when it qualifies, else None — the
+        paper's "everlasting item batches indicate enduring interest".
+        """
+        result = self.batch_span.query((customer, commodity))
+        if result.active and result.span >= min_span:
+            return result.span
+        return None
+
+    def new_interest_events(self) -> "list[tuple[object, object, float]]":
+        """(customer, commodity, time) for every batch start seen."""
+        return list(self._new_batches)

@@ -1,0 +1,114 @@
+"""The "Ideal" curve: a Bloom filter with perfect expiry (§6.2).
+
+The paper's ideal baseline "artificially eliminates the error window":
+at query time only the items that truly arrived within ``(t - T, t]``
+are in a plain Bloom filter of the full memory budget. Any remaining
+false positives are pure hash collisions — the floor every
+sliding-window filter is chasing.
+
+The implementation keeps the exact window as a deque (the oracle) and a
+*counting* shadow of the Bloom filter so expired items can be removed;
+memory is accounted as the plain ``n``-bit filter, because the counters
+are only the simulation device for the oracle's deletions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.base import ClockSketchBase
+from ..core.params import optimal_k_membership
+from ..hashing import IndexDeriver
+from ..timebase import WindowSpec
+from ..units import parse_memory
+
+__all__ = ["IdealSlidingBloom"]
+
+
+class IdealSlidingBloom(ClockSketchBase):
+    """A Bloom filter over exactly the in-window items (oracle expiry).
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> f = IdealSlidingBloom(n=512, k=4, window=count_window(2))
+    >>> f.insert("a"); f.insert("b"); f.insert("c")
+    >>> f.contains("a")  # expired: only the last 2 items are present
+    False
+    """
+
+    def __init__(self, n: int, k: int, window: WindowSpec, seed: int = 0):
+        super().__init__(window)
+        self.k = int(k)
+        self.counters = np.zeros(n, dtype=np.int32)
+        self.deriver = IndexDeriver(n=n, k=k, seed=seed)
+        self.seed = seed
+        self._window_events: deque = deque()  # (time, index-row)
+
+    @classmethod
+    def from_memory(cls, memory, window: WindowSpec, k: "int | None" = None,
+                    seed: int = 0) -> "IdealSlidingBloom":
+        """Build the ideal filter for a budget of ``n`` 1-bit cells."""
+        bits = parse_memory(memory)
+        n = max(1, bits)  # one bit per cell
+        if k is None:
+            # Optimal k for the true load (no error window: s -> infinity
+            # limit of the §5.1 formula is simply n ln2 / T).
+            k = optimal_k_membership(n, window.length, s=30)
+        return cls(n=n, k=k, window=window, seed=seed)
+
+    @property
+    def n(self) -> int:
+        """Number of (bit) cells."""
+        return len(self.counters)
+
+    def _expire(self, now: float) -> None:
+        events = self._window_events
+        length = self.window.length
+        while events and not (now - events[0][0] < length):
+            _t, row = events.popleft()
+            self.counters[row] -= 1
+
+    def insert(self, item, t=None) -> None:
+        """Add the item; anything older than the window is removed."""
+        now = self._insert_time(t)
+        self._expire(now)
+        row = np.asarray(self.deriver.indexes(item))
+        self.counters[row] += 1
+        self._window_events.append((now, row))
+
+    def insert_many(self, keys, times=None) -> None:
+        """Insert an array of integer keys (bulk-hashed)."""
+        keys = np.asarray(keys)
+        matrix = self.deriver.bulk(keys)
+        if self.window.is_count_based:
+            time_iter = (None for _ in range(len(keys)))
+        else:
+            time_iter = iter(np.asarray(times, dtype=float))
+        for row in matrix:
+            now = self._insert_time(next(time_iter))
+            self._expire(now)
+            self.counters[row] += 1
+            self._window_events.append((now, row))
+
+    def contains(self, item, t=None) -> bool:
+        """Membership against exactly the in-window items."""
+        now = self._query_time(t)
+        self._expire(now)
+        return bool(np.all(self.counters[self.deriver.indexes(item)] > 0))
+
+    def contains_many(self, keys, t=None) -> np.ndarray:
+        """Vectorised :meth:`contains` over an integer key array."""
+        now = self._query_time(t)
+        self._expire(now)
+        matrix = self.deriver.bulk(np.asarray(keys))
+        return np.all(self.counters[matrix] > 0, axis=1)
+
+    def memory_bits(self) -> int:
+        """Accounted footprint: the plain n-bit Bloom filter."""
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"IdealSlidingBloom(n={self.n}, k={self.k}, window={self.window})"

@@ -1,0 +1,153 @@
+"""The naive clock-free batch-size baseline (paper §6.5).
+
+A Count-Min layout in which every counter carries a 64-bit ``t_l``
+("last visited") timestamp instead of an ``s``-bit clock. Insertion
+checks the gap: above ``T`` means the counter belongs to a finished
+batch, so it restarts at 1; otherwise it increments. Querying takes
+the minimum over the ``d`` hashed counters of cells that are still
+in-window (stale cells count as zero). The 64-bit timestamps eat the
+memory budget that CM+clock spends on counters, which is Figure 11b's
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClockSketchBase
+from ..errors import ConfigurationError
+from ..hashing import IndexDeriver
+from ..timebase import WindowSpec
+from ..units import parse_memory
+
+__all__ = ["NaiveSizeSketch"]
+
+#: 64-bit timestamp per counter (plus the counter itself).
+TIMESTAMP_BITS = 64
+DEFAULT_COUNTER_BITS = 16
+
+
+class NaiveSizeSketch(ClockSketchBase):
+    """The §6.5 naive batch-size baseline (timestamps instead of clocks).
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> cm = NaiveSizeSketch(width=128, depth=3, window=count_window(64))
+    >>> for _ in range(5):
+    ...     cm.insert("key")
+    >>> cm.query("key")
+    5
+    """
+
+    def __init__(self, width: int, depth: int, window: WindowSpec,
+                 counter_bits: int = DEFAULT_COUNTER_BITS, seed: int = 0):
+        super().__init__(window)
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.counter_bits = int(counter_bits)
+        self.counter_max = (1 << counter_bits) - 1
+        size = self.width * self.depth
+        self.counters = np.zeros(size, dtype=np.uint32)
+        self.last_visit = np.full(size, -np.inf, dtype=np.float64)
+        self._derivers = [
+            IndexDeriver(n=self.width, k=1, seed=seed + 1000003 * row)
+            for row in range(self.depth)
+        ]
+        self.seed = seed
+
+    @classmethod
+    def from_memory(cls, memory, window: WindowSpec, depth: int = 3,
+                    counter_bits: int = DEFAULT_COUNTER_BITS,
+                    seed: int = 0) -> "NaiveSizeSketch":
+        """Build a sketch fitting a budget of ``d*w*(b+64)`` bits."""
+        bits = parse_memory(memory)
+        width = bits // (depth * (counter_bits + TIMESTAMP_BITS))
+        if width < 1:
+            raise ConfigurationError(
+                f"memory budget {bits} bits cannot hold one cell per row"
+            )
+        return cls(width=width, depth=depth, window=window,
+                   counter_bits=counter_bits, seed=seed)
+
+    def _flat_indexes(self, item) -> "list[int]":
+        return [
+            row * self.width + deriver.indexes(item)[0]
+            for row, deriver in enumerate(self._derivers)
+        ]
+
+    def insert(self, item, t=None) -> None:
+        """Increment the item's counters, restarting stale ones at 1."""
+        now = self._insert_time(t)
+        length = self.window.length
+        for flat in self._flat_indexes(item):
+            if now - self.last_visit[flat] >= length:
+                self.counters[flat] = 1
+            elif self.counters[flat] < self.counter_max:
+                self.counters[flat] += 1
+            self.last_visit[flat] = now
+
+    def insert_many(self, keys, times=None) -> None:
+        """Insert an array of integer keys (bulk-hashed)."""
+        keys = np.asarray(keys)
+        offsets = np.arange(self.depth, dtype=np.int64) * self.width
+        columns = np.stack(
+            [d.bulk_single(keys) for d in self._derivers], axis=1
+        )
+        flat_matrix = columns + offsets[None, :]
+        if self.window.is_count_based:
+            time_iter = (None for _ in range(len(keys)))
+        else:
+            if times is None:
+                raise ConfigurationError("time-based insert_many requires times")
+            time_iter = iter(np.asarray(times, dtype=float))
+        length = self.window.length
+        counters = self.counters
+        last = self.last_visit
+        counter_max = self.counter_max
+        for row in flat_matrix:
+            now = self._insert_time(next(time_iter))
+            for flat in row:
+                if now - last[flat] >= length:
+                    counters[flat] = 1
+                elif counters[flat] < counter_max:
+                    counters[flat] += 1
+                last[flat] = now
+
+    def query(self, item, t=None) -> int:
+        """Estimated size of the item's active batch (0 when inactive)."""
+        now = self._query_time(t)
+        length = self.window.length
+        best = None
+        for flat in self._flat_indexes(item):
+            value = (
+                int(self.counters[flat])
+                if now - self.last_visit[flat] < length
+                else 0
+            )
+            best = value if best is None else min(best, value)
+        return int(best)
+
+    def query_many(self, keys, t=None) -> np.ndarray:
+        """Vectorised :meth:`query` over an integer key array."""
+        now = self._query_time(t)
+        offsets = np.arange(self.depth, dtype=np.int64) * self.width
+        columns = np.stack(
+            [d.bulk_single(np.asarray(keys)) for d in self._derivers], axis=1
+        )
+        flat_matrix = columns + offsets[None, :]
+        live = now - self.last_visit[flat_matrix] < self.window.length
+        values = np.where(live, self.counters[flat_matrix], 0)
+        return np.min(values, axis=1).astype(np.int64)
+
+    def memory_bits(self) -> int:
+        """Accounted footprint: ``d*w`` cells of ``b + 64`` bits."""
+        return self.width * self.depth * (self.counter_bits + TIMESTAMP_BITS)
+
+    def __repr__(self) -> str:
+        return (
+            f"NaiveSizeSketch(width={self.width}, depth={self.depth}, "
+            f"b={self.counter_bits}, window={self.window})"
+        )

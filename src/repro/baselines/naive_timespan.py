@@ -1,0 +1,110 @@
+"""The naive clock-free time-span baseline (paper §6.4).
+
+Each of the ``n`` cells holds two 64-bit timestamps: ``t_l``, the last
+time the cell was visited, and ``t_sr``, the recorded start of the
+batch occupying it. Insertion refreshes ``t_l`` and resets ``t_sr``
+when the cell looks expired (gap above ``T``); querying picks the
+earliest ``t_l`` among the ``k`` hashed cells (call it ``t_f``) —
+active batches must satisfy ``t_cur - t_f < T`` — and returns the
+latest ``t_sr`` among the cells achieving ``t_f``.
+
+Like BF-ts+clock, the naive scheme answers exactly or overestimates the
+span; it simply pays 64 bits of "clock" per cell where the Clock-sketch
+pays ``s``, which is the whole comparison of Figure 10b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import ClockSketchBase
+from ..core.params import cells_for_memory
+from ..core.timespan import TimeSpanResult
+from ..errors import ConfigurationError
+from ..hashing import IndexDeriver
+from ..timebase import WindowSpec
+from ..units import parse_memory
+
+__all__ = ["NaiveTimeSpanSketch"]
+
+#: Two 64-bit timestamps per cell.
+CELL_BITS = 128
+
+
+class NaiveTimeSpanSketch(ClockSketchBase):
+    """The §6.4 naive time-span baseline (timestamps instead of clocks).
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> ts = NaiveTimeSpanSketch(n=256, k=2, window=count_window(64))
+    >>> for _ in range(10):
+    ...     ts.insert("job")
+    >>> ts.query("job").span
+    9.0
+    """
+
+    def __init__(self, n: int, k: int, window: WindowSpec, seed: int = 0):
+        super().__init__(window)
+        self.k = int(k)
+        self.last_visit = np.full(n, -np.inf, dtype=np.float64)
+        self.batch_start = np.zeros(n, dtype=np.float64)
+        self.deriver = IndexDeriver(n=n, k=k, seed=seed)
+        self.seed = seed
+
+    @classmethod
+    def from_memory(cls, memory, window: WindowSpec, k: int = 2,
+                    seed: int = 0) -> "NaiveTimeSpanSketch":
+        """Build a sketch fitting a budget of 128-bit cells."""
+        bits = parse_memory(memory)
+        n = cells_for_memory(bits, CELL_BITS)
+        return cls(n=n, k=k, window=window, seed=seed)
+
+    @property
+    def n(self) -> int:
+        """Number of (t_l, t_sr) cell pairs."""
+        return len(self.last_visit)
+
+    def insert(self, item, t=None) -> None:
+        """Refresh the item's cells; restart stale ones."""
+        now = self._insert_time(t)
+        idx = np.asarray(self.deriver.indexes(item))
+        stale = now - self.last_visit[idx] >= self.window.length
+        self.batch_start[idx[stale]] = now
+        self.last_visit[idx] = now
+
+    def insert_many(self, keys, times=None) -> None:
+        """Insert an array of integer keys (bulk-hashed)."""
+        keys = np.asarray(keys)
+        matrix = self.deriver.bulk(keys)
+        if self.window.is_count_based:
+            time_iter = (None for _ in range(len(keys)))
+        else:
+            if times is None:
+                raise ConfigurationError("time-based insert_many requires times")
+            time_iter = iter(np.asarray(times, dtype=float))
+        length = self.window.length
+        for row in matrix:
+            now = self._insert_time(next(time_iter))
+            stale = now - self.last_visit[row] >= length
+            self.batch_start[row[stale]] = now
+            self.last_visit[row] = now
+
+    def query(self, item, t=None) -> TimeSpanResult:
+        """Time span of the item's batch (exact or overestimated)."""
+        now = self._query_time(t)
+        idx = np.asarray(self.deriver.indexes(item))
+        visits = self.last_visit[idx]
+        t_f = float(np.min(visits))
+        if not now - t_f < self.window.length:
+            return TimeSpanResult(active=False)
+        achieving = idx[visits == t_f]
+        begin = float(np.max(self.batch_start[achieving]))
+        return TimeSpanResult(active=True, span=now - begin, begin=begin)
+
+    def memory_bits(self) -> int:
+        """Accounted footprint: ``n`` cells of 128 bits."""
+        return self.n * CELL_BITS
+
+    def __repr__(self) -> str:
+        return f"NaiveTimeSpanSketch(n={self.n}, k={self.k}, window={self.window})"

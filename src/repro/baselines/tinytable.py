@@ -1,0 +1,70 @@
+"""A counting fingerprint table — the TinyTable role in SWAMP.
+
+SWAMP (Assaf et al., INFOCOM 2018) pairs its cyclic fingerprint queue
+with TinyTable (Einziger & Friedman, 2015), a bit-packed counting hash
+table, to answer "how many of the last w items carry fingerprint p?".
+Per DESIGN.md §4, we implement a counting fingerprint multiset with the
+same query semantics — membership, per-fingerprint counts, and the
+number of distinct fingerprints — and account memory analytically.
+Collision behaviour (what determines accuracy) is identical: it is a
+property of the fingerprint space, not of the table layout.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["CountingTable"]
+
+
+class CountingTable:
+    """A multiset of fingerprints with O(1) add/remove/query.
+
+    Examples
+    --------
+    >>> t = CountingTable()
+    >>> t.add(5); t.add(5); t.add(9)
+    >>> t.count(5), t.distinct(), len(t)
+    (2, 2, 3)
+    >>> t.remove(5)
+    >>> t.count(5)
+    1
+    """
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+        self._total = 0
+
+    def add(self, fingerprint: int) -> None:
+        """Add one occurrence of a fingerprint."""
+        self._counts[fingerprint] += 1
+        self._total += 1
+
+    def remove(self, fingerprint: int) -> None:
+        """Remove one occurrence; raises ``KeyError`` if absent."""
+        current = self._counts.get(fingerprint, 0)
+        if current <= 0:
+            raise KeyError(f"fingerprint {fingerprint} not present")
+        if current == 1:
+            del self._counts[fingerprint]
+        else:
+            self._counts[fingerprint] = current - 1
+        self._total -= 1
+
+    def contains(self, fingerprint: int) -> bool:
+        """Is the fingerprint present at least once?"""
+        return fingerprint in self._counts
+
+    def count(self, fingerprint: int) -> int:
+        """Multiplicity of the fingerprint."""
+        return self._counts.get(fingerprint, 0)
+
+    def distinct(self) -> int:
+        """Number of distinct fingerprints present."""
+        return len(self._counts)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __repr__(self) -> str:
+        return f"CountingTable(total={self._total}, distinct={self.distinct()})"

@@ -1,0 +1,31 @@
+"""Experiment harness reproducing the paper's evaluation (§6).
+
+- :mod:`repro.bench.metrics` — FPR, RE, ARE, and throughput metrics
+  exactly as §6.1 defines them.
+- :mod:`repro.bench.harness` — shared machinery: trace caching, query
+  set construction, algorithm drivers, and table rendering.
+- :mod:`repro.bench.experiments` — one module per paper figure/table;
+  each exposes a ``run(...)`` returning an
+  :class:`~repro.bench.harness.ExperimentResult`.
+- :mod:`repro.bench.cli` — the ``repro-bench`` entry point:
+  ``repro-bench fig6`` prints Figure 6's series.
+"""
+
+from .metrics import (
+    average_relative_error,
+    false_positive_rate,
+    relative_error,
+    ThroughputResult,
+    measure_throughput,
+)
+from .harness import ExperimentResult, format_table
+
+__all__ = [
+    "false_positive_rate",
+    "relative_error",
+    "average_relative_error",
+    "ThroughputResult",
+    "measure_throughput",
+    "ExperimentResult",
+    "format_table",
+]

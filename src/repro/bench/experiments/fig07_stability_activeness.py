@@ -1,0 +1,64 @@
+"""Figure 7 — stability of BF+clock over time.
+
+Paper setup: FPR of BF+clock measured at 6, 7, 8, 9, 10 windows into
+the stream, for T ∈ {2^15, 2^16, 2^17}, on all four dataset/mode
+panels. Expected shape: the FPR stays flat across query times — the
+clock's cleaning keeps the structure in steady state, making it "suit
+for enduring operation".
+"""
+
+from __future__ import annotations
+
+from ...timebase import WindowKind, WindowSpec
+from ...units import kb_to_bits
+from ..harness import ExperimentResult, activeness_fpr, cached_trace
+
+DEFAULT_WINDOWS = (1 << 15, 1 << 16, 1 << 17)
+DEFAULT_QUERY_WINDOWS = (6, 7, 8, 9, 10)
+DEFAULT_MEMORY_KB = 32
+DEFAULT_DATASETS = ("caida", "criteo", "network")
+
+
+def run(quick: bool = False, seed: int = 1,
+        window_lengths=DEFAULT_WINDOWS,
+        query_windows=DEFAULT_QUERY_WINDOWS,
+        memory_kb: float = DEFAULT_MEMORY_KB,
+        datasets=DEFAULT_DATASETS,
+        include_time_based: bool = True) -> ExperimentResult:
+    """Reproduce Figure 7 (a-d)."""
+    if quick:
+        window_lengths = (1 << 12,)
+        query_windows = (6, 8, 10)
+        datasets = ("caida",)
+        include_time_based = False
+
+    result = ExperimentResult(
+        title="Figure 7: BF+clock stability (FPR vs query time)",
+        columns=["panel", "dataset", "mode", "window", "query_at_windows",
+                 "fpr"],
+        notes=[
+            f"memory={memory_kb}KB, s=2, optimal k",
+            "expected shape: flat FPR across query times per window size",
+        ],
+    )
+
+    bits = kb_to_bits(memory_kb)
+    modes = [("count", WindowKind.COUNT, d, p)
+             for d, p in zip(datasets, ("a", "b", "c"))]
+    if include_time_based:
+        modes.append(("time", WindowKind.TIME, "caida", "d"))
+
+    max_windows = max(query_windows)
+    for mode_name, kind, dataset, panel in modes:
+        for window_length in window_lengths:
+            window = WindowSpec(length=window_length, kind=kind)
+            stream = cached_trace(dataset, n_items=max_windows * window_length,
+                                  window_hint=window_length, seed=seed)
+            for at in query_windows:
+                fpr = activeness_fpr(
+                    "bf_clock", stream, window, bits,
+                    t_query=float(at * window_length), seed=seed,
+                )
+                result.add(panel=panel, dataset=dataset, mode=mode_name,
+                           window=window_length, query_at_windows=at, fpr=fpr)
+    return result

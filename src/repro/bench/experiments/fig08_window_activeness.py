@@ -1,0 +1,60 @@
+"""Figure 8 — BF+clock FPR across window sizes and memory budgets.
+
+Paper setup: memory 16-128 KB, windows T ∈ {2^15, 2^16, 2^17}, four
+dataset/mode panels. Expected shape: FPR falls as memory grows or the
+window shrinks (fewer active batches per cell).
+"""
+
+from __future__ import annotations
+
+from ...timebase import WindowKind, WindowSpec
+from ...units import kb_to_bits
+from ..harness import ExperimentResult, activeness_fpr, cached_trace
+
+DEFAULT_WINDOWS = (1 << 15, 1 << 16, 1 << 17)
+DEFAULT_MEMORIES_KB = (16, 32, 64, 128)
+DEFAULT_DATASETS = ("caida", "criteo", "network")
+WINDOWS_PER_STREAM = 10
+
+
+def run(quick: bool = False, seed: int = 1,
+        window_lengths=DEFAULT_WINDOWS,
+        memories_kb=DEFAULT_MEMORIES_KB,
+        datasets=DEFAULT_DATASETS,
+        include_time_based: bool = True) -> ExperimentResult:
+    """Reproduce Figure 8 (a-d)."""
+    if quick:
+        window_lengths = (1 << 11, 1 << 12)
+        memories_kb = (8, 32)
+        datasets = ("caida",)
+        include_time_based = False
+
+    result = ExperimentResult(
+        title="Figure 8: BF+clock window size evaluation (FPR vs memory)",
+        columns=["panel", "dataset", "mode", "window", "memory_kb", "fpr"],
+        notes=[
+            "s=2, optimal k per configuration",
+            "expected shape: FPR falls with memory, rises with window",
+        ],
+    )
+
+    modes = [("count", WindowKind.COUNT, d, p)
+             for d, p in zip(datasets, ("a", "b", "c"))]
+    if include_time_based:
+        modes.append(("time", WindowKind.TIME, "caida", "d"))
+
+    for mode_name, kind, dataset, panel in modes:
+        for window_length in window_lengths:
+            window = WindowSpec(length=window_length, kind=kind)
+            stream = cached_trace(
+                dataset, n_items=WINDOWS_PER_STREAM * window_length,
+                window_hint=window_length, seed=seed,
+            )
+            for memory_kb in memories_kb:
+                fpr = activeness_fpr(
+                    "bf_clock", stream, window, kb_to_bits(memory_kb),
+                    seed=seed,
+                )
+                result.add(panel=panel, dataset=dataset, mode=mode_name,
+                           window=window_length, memory_kb=memory_kb, fpr=fpr)
+    return result

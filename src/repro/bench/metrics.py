@@ -1,0 +1,98 @@
+"""Evaluation metrics, exactly as the paper's §6.1 defines them.
+
+- FPR: queried batches are all truly inactive, so every positive answer
+  is false; FPR = positives / queries.
+- RE: ``|f̂ - f| / f`` for a single aggregate measurement.
+- ARE: mean of per-item relative errors over a query set Ψ.
+- Throughput: million operations per second (Mops).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "false_positive_rate",
+    "relative_error",
+    "average_relative_error",
+    "error_rate",
+    "ThroughputResult",
+    "measure_throughput",
+]
+
+
+def false_positive_rate(positives) -> float:
+    """Fraction of queries answered positive (queries are all-negative).
+
+    ``positives`` is a boolean array of per-query answers.
+    """
+    positives = np.asarray(positives, dtype=bool)
+    if positives.size == 0:
+        raise ConfigurationError("FPR needs at least one query")
+    return float(np.count_nonzero(positives)) / positives.size
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """``|estimate - true| / true`` for one aggregate measurement."""
+    if true_value == 0:
+        raise ConfigurationError("relative error undefined for true value 0")
+    return abs(estimate - true_value) / abs(true_value)
+
+
+def average_relative_error(true_values, estimates) -> float:
+    """ARE over a query set: mean of per-item relative errors.
+
+    Items with true value 0 are excluded (they cannot contribute a
+    relative error); an all-zero truth raises.
+    """
+    true_values = np.asarray(true_values, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if true_values.shape != estimates.shape:
+        raise ConfigurationError("truth and estimates must align")
+    mask = true_values != 0
+    if not np.any(mask):
+        raise ConfigurationError("ARE needs at least one non-zero truth")
+    errors = np.abs(estimates[mask] - true_values[mask]) / true_values[mask]
+    return float(np.mean(errors))
+
+
+def error_rate(correct) -> float:
+    """Fraction of queries answered incorrectly (for the span task)."""
+    correct = np.asarray(correct, dtype=bool)
+    if correct.size == 0:
+        raise ConfigurationError("error rate needs at least one query")
+    return 1.0 - float(np.count_nonzero(correct)) / correct.size
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput measurement."""
+
+    operations: int
+    seconds: float
+
+    @property
+    def mops(self) -> float:
+        """Million operations per second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.operations / self.seconds / 1e6
+
+    def __str__(self) -> str:
+        return f"{self.mops:.4f} Mops ({self.operations} ops in {self.seconds:.3f}s)"
+
+
+def measure_throughput(operation, operations: int) -> ThroughputResult:
+    """Time ``operation()`` (which performs ``operations`` ops) once.
+
+    The paper repeats 10x and averages; callers control repetition.
+    """
+    start = time.perf_counter()
+    operation()
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(operations=operations, seconds=elapsed)

@@ -1,0 +1,35 @@
+"""Cache simulation substrate (paper §1.1 case 1 and Figure 13).
+
+The paper motivates item batch measurement with cache management and
+evaluates a BF+clock-assisted replacement policy against LFU
+(Figure 13). This subpackage provides:
+
+- :mod:`repro.cache.policies` — LFU, LRU, and classic CLOCK caches.
+- :mod:`repro.cache.clock_assisted` — the BF+clock-assisted cache: on a
+  miss it victimises a vacant slot or one whose resident's batch the
+  Clock-sketch reports inactive.
+- :mod:`repro.cache.prefetch` — periodical-batch detection and a
+  prefetching cache (the other half of §1.1 case 1).
+- :mod:`repro.cache.weighted` — LFU with batch-size admission weights
+  (§1.1's "change the weight of replacement to the batch size").
+- :mod:`repro.cache.simulator` — drives a cache over a
+  :class:`~repro.streams.Stream` and reports hit rates.
+"""
+
+from .policies import ClockCache, LFUCache, LRUCache
+from .clock_assisted import ClockAssistedCache
+from .prefetch import PeriodicityDetector, PrefetchingCache
+from .weighted import BatchWeightedLFU
+from .simulator import CacheStats, simulate
+
+__all__ = [
+    "LFUCache",
+    "LRUCache",
+    "ClockCache",
+    "ClockAssistedCache",
+    "PeriodicityDetector",
+    "PrefetchingCache",
+    "BatchWeightedLFU",
+    "CacheStats",
+    "simulate",
+]

@@ -1,0 +1,86 @@
+"""The BF+clock-assisted cache of Figure 13.
+
+Every access is inserted into a small BF+clock whose window is twice
+the cache capacity (the paper's choice: "we choose the window size of
+BF+clock as twice the size of cache" so all active items fit despite
+duplicates). On a miss, a hand sweeps the slots looking for a vacant
+slot or one whose resident's batch the BF+clock reports *inactive* —
+evicting items whose batches have ended instead of punishing items from
+large batches the way LFU does. If a full sweep finds every resident
+active, the slot after the hand is evicted anyway (the cache is
+over-subscribed and someone must go).
+
+The sketch memory is small next to the cache ("can be neglected" per
+§6.2); ``sketch_memory`` defaults to one byte per cache slot.
+"""
+
+from __future__ import annotations
+
+from ..core.activeness import ClockBloomFilter
+from ..errors import ConfigurationError
+from ..timebase import count_window
+
+__all__ = ["ClockAssistedCache"]
+
+
+class ClockAssistedCache:
+    """Cache with BF+clock-driven victim selection.
+
+    Examples
+    --------
+    >>> c = ClockAssistedCache(4)
+    >>> c.access("a"), c.access("a")
+    (False, True)
+    """
+
+    def __init__(self, capacity: int, sketch_memory=None, s: int = 2,
+                 seed: int = 0, scan_limit: int = 64):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        # Victim search probes at most this many slots per miss (a
+        # bounded CLOCK sweep): past that depth, evicting an active
+        # resident is near-forced anyway and unbounded sweeps would make
+        # large caches quadratic.
+        self.scan_limit = min(int(scan_limit), self.capacity)
+        window = count_window(2 * self.capacity)
+        if sketch_memory is None:
+            sketch_memory = max(64, self.capacity)  # bytes
+        self.sketch = ClockBloomFilter.from_memory(
+            sketch_memory, window, s=s, seed=seed
+        )
+        self._slots: "list[object | None]" = [None] * self.capacity
+        self._where: "dict[object, int]" = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def access(self, key) -> bool:
+        """Access a key; returns True on a hit."""
+        self.sketch.insert(key)
+        if key in self._where:
+            return True
+        victim = self._find_victim()
+        old = self._slots[victim]
+        if old is not None:
+            del self._where[old]
+        self._slots[victim] = key
+        self._where[key] = victim
+        return False
+
+    def _find_victim(self) -> int:
+        """First vacant or inactive slot after the hand; else the next slot."""
+        for offset in range(self.scan_limit):
+            slot = (self._hand + offset) % self.capacity
+            resident = self._slots[slot]
+            if resident is None or not self.sketch.contains(resident):
+                self._hand = (slot + 1) % self.capacity
+                return slot
+        slot = self._hand
+        self._hand = (slot + 1) % self.capacity
+        return slot
+
+    def contents(self) -> set:
+        """The set of resident keys."""
+        return set(self._where)

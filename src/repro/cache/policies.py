@@ -1,0 +1,160 @@
+"""Classic cache replacement policies: LFU, LRU, and CLOCK.
+
+Each cache exposes a single ``access(key) -> bool`` method returning
+whether the access hit; on a miss the key is admitted, evicting a
+victim chosen by the policy. This is the interface
+:func:`repro.cache.simulator.simulate` drives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+
+__all__ = ["LFUCache", "LRUCache", "ClockCache"]
+
+
+class LFUCache:
+    """Least-Frequently-Used cache (Figure 13's baseline).
+
+    Evicts the resident with the smallest access frequency, breaking
+    ties by age. Implemented with a lazy min-heap: each access pushes a
+    fresh ``(freq, age, key)`` entry and eviction pops entries until one
+    matches the key's current frequency.
+
+    Examples
+    --------
+    >>> c = LFUCache(2)
+    >>> c.access("a"), c.access("a"), c.access("b"), c.access("c")
+    (False, True, False, False)
+    >>> c.access("a")  # "b" (freq 1) was evicted, not "a" (freq 2)
+    True
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._freq: "dict[object, int]" = {}
+        self._heap: "list[tuple[int, int, object]]" = []
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def access(self, key) -> bool:
+        """Access a key; returns True on a hit."""
+        self._clock += 1
+        if key in self._freq:
+            self._freq[key] += 1
+            heapq.heappush(self._heap, (self._freq[key], self._clock, key))
+            return True
+        if len(self._freq) >= self.capacity:
+            self._evict()
+        self._freq[key] = 1
+        heapq.heappush(self._heap, (1, self._clock, key))
+        return False
+
+    def _evict(self) -> None:
+        while self._heap:
+            freq, _age, key = heapq.heappop(self._heap)
+            if self._freq.get(key) == freq:
+                del self._freq[key]
+                return
+        raise RuntimeError("LFU heap exhausted with residents remaining")
+
+    def contents(self) -> set:
+        """The set of resident keys."""
+        return set(self._freq)
+
+
+class LRUCache:
+    """Least-Recently-Used cache.
+
+    Examples
+    --------
+    >>> c = LRUCache(2)
+    >>> c.access("a"), c.access("b"), c.access("a"), c.access("c")
+    (False, False, True, False)
+    >>> c.access("b")  # "b" was evicted as least recently used
+    False
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key) -> bool:
+        """Access a key; returns True on a hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = True
+        return False
+
+    def contents(self) -> set:
+        """The set of resident keys."""
+        return set(self._entries)
+
+
+class ClockCache:
+    """The classic CLOCK policy of §2.2 (one reference bit per slot).
+
+    A hit sets the slot's reference bit. On a miss the hand sweeps:
+    slots with the bit set get a second chance (bit cleared), the first
+    slot with a clear bit is the victim.
+
+    Examples
+    --------
+    >>> c = ClockCache(2)
+    >>> c.access("a"), c.access("b"), c.access("a"), c.access("c")
+    (False, False, True, False)
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._slots: "list[object | None]" = [None] * capacity
+        self._ref: "list[bool]" = [False] * capacity
+        self._where: "dict[object, int]" = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def access(self, key) -> bool:
+        """Access a key; returns True on a hit."""
+        slot = self._where.get(key)
+        if slot is not None:
+            self._ref[slot] = True
+            return True
+        victim = self._find_victim()
+        old = self._slots[victim]
+        if old is not None:
+            del self._where[old]
+        self._slots[victim] = key
+        self._ref[victim] = True
+        self._where[key] = victim
+        return False
+
+    def _find_victim(self) -> int:
+        while True:
+            slot = self._hand
+            self._hand = (self._hand + 1) % self.capacity
+            if self._slots[slot] is None or not self._ref[slot]:
+                return slot
+            self._ref[slot] = False
+
+    def contents(self) -> set:
+        """The set of resident keys."""
+        return set(self._where)

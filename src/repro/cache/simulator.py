@@ -1,0 +1,54 @@
+"""Cache simulation harness.
+
+Drives any cache exposing ``access(key) -> bool`` over a
+:class:`~repro.streams.Stream` and reports hit statistics — the
+machinery behind Figure 13 and the cache examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..streams import Stream
+
+__all__ = ["CacheStats", "simulate"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Outcome of a cache simulation."""
+
+    accesses: int
+    hits: int
+
+    @property
+    def misses(self) -> int:
+        """Number of cache misses."""
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits}/{self.accesses} hits "
+            f"(hit rate {self.hit_rate:.3f})"
+        )
+
+
+def simulate(cache, stream: Stream, warmup: int = 0) -> CacheStats:
+    """Run ``stream`` through ``cache`` and count hits.
+
+    ``warmup`` accesses at the head of the stream are executed but not
+    counted, so cold-start misses don't dominate short traces.
+    """
+    hits = 0
+    counted = 0
+    for position, key in enumerate(stream.keys):
+        hit = cache.access(int(key))
+        if position >= warmup:
+            counted += 1
+            hits += hit
+    return CacheStats(accesses=counted, hits=hits)

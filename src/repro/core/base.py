@@ -1,0 +1,78 @@
+"""Shared plumbing for the four Clock-sketch applications.
+
+Each application (activeness, cardinality, time span, size) is a
+classic sketch whose cells carry ``s``-bit clock cells, driven by one
+:class:`~repro.core.clockarray.ClockArray`. This base class centralises
+the temporal conventions:
+
+- **Count-based** windows: the ``i``-th inserted item arrives at time
+  ``i`` (1-based); ``insert`` takes no timestamp and queries default to
+  "after the latest insert".
+- **Time-based** windows: every ``insert`` must carry a timestamp, and
+  queries may carry one (defaulting to the latest time seen).
+
+The cleaning pointer is advanced lazily to the operation's time before
+the operation executes, which reproduces the paper's concurrent
+cleaning thread deterministically.
+"""
+
+from __future__ import annotations
+
+from ..errors import TimeError
+from ..timebase import WindowSpec
+
+
+class ClockSketchBase:
+    """Temporal bookkeeping shared by all Clock-sketch variants."""
+
+    def __init__(self, window: WindowSpec):
+        self.window = window
+        self._items_inserted = 0
+        self._now = 0.0
+
+    @property
+    def items_inserted(self) -> int:
+        """Number of items inserted so far."""
+        return self._items_inserted
+
+    @property
+    def now(self) -> float:
+        """The current stream time (item count or timestamp)."""
+        return self._now
+
+    def _insert_time(self, t) -> float:
+        """Resolve and record the time of an insert."""
+        if self.window.is_count_based:
+            if t is not None:
+                raise TimeError(
+                    "count-based sketches take no insert timestamp; "
+                    "time is the item count"
+                )
+            self._items_inserted += 1
+            self._now = float(self._items_inserted)
+            return self._now
+        if t is None:
+            raise TimeError("time-based sketches require an insert timestamp")
+        if t < self._now:
+            raise TimeError(f"time moved backwards: {t} < {self._now}")
+        self._items_inserted += 1
+        self._now = float(t)
+        return self._now
+
+    def _query_time(self, t) -> float:
+        """Resolve the time of a query (defaults to the latest time).
+
+        An explicit future ``t`` fast-forwards the structure: for
+        count-based windows it also advances the item counter, so later
+        inserts continue from the queried instant (the stream idled).
+        """
+        if t is None:
+            return self._now
+        if self.window.is_count_based and t != int(t):
+            raise TimeError(f"count-based query time must be an integer, got {t}")
+        if t < self._now:
+            raise TimeError(f"time moved backwards: {t} < {self._now}")
+        self._now = float(t)
+        if self.window.is_count_based:
+            self._items_inserted = max(self._items_inserted, int(t))
+        return self._now

@@ -1,0 +1,63 @@
+"""Parameter selection for the Clock-sketch applications (paper §5).
+
+Given a memory budget and a window, §5 derives the optimal number of
+hash functions ``k`` and clock-cell width ``s`` for each task. The full
+closed-form error models live in :mod:`repro.analysis`; this module
+holds the small helpers the sketch constructors call directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "active_load",
+    "optimal_k_membership",
+    "cells_for_memory",
+    "OPTIMAL_S_MEMBERSHIP",
+]
+
+# §5.1 proves the membership FPR is minimised at the smallest legal
+# clock width. (s = 2 gives the most cells per bit; the wider error
+# window is outweighed by the lower collision rate.)
+OPTIMAL_S_MEMBERSHIP = 2
+
+
+def active_load(window_length: float, s: int) -> float:
+    """Expected number of "live" elements a membership sketch carries.
+
+    §5.1: with window ``T`` and clock width ``s``, outdated elements in
+    the error window contribute half-valid hash mappings, for an
+    effective load of ``T * (1 + 1 / (2 * (2^s - 2)))``.
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock cell size must be >= 2, got {s}")
+    return window_length * (1.0 + 1.0 / (2.0 * ((1 << s) - 2)))
+
+
+def optimal_k_membership(n: int, window_length: float, s: int) -> int:
+    """Optimal hash count for BF+clock (§5.1).
+
+    Mirrors the classic Bloom-filter optimum with the effective load in
+    place of the true cardinality: ``k* = n ln2 / load``. Clamped to at
+    least 1 and at most 30 (beyond which pure insert cost dominates any
+    accuracy gain).
+    """
+    load = active_load(window_length, s)
+    k = round(n * math.log(2) / load)
+    return max(1, min(30, k))
+
+
+def cells_for_memory(memory_bits: int, bits_per_cell: int) -> int:
+    """Number of cells a memory budget affords, validating it is >= 1."""
+    if bits_per_cell <= 0:
+        raise ConfigurationError(f"bits per cell must be positive, got {bits_per_cell}")
+    n = memory_bits // bits_per_cell
+    if n < 1:
+        raise ConfigurationError(
+            f"memory budget of {memory_bits} bits cannot hold a single "
+            f"{bits_per_cell}-bit cell"
+        )
+    return n

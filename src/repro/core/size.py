@@ -1,0 +1,229 @@
+"""CM+clock — item batch size (paper §4.4).
+
+A Count-Min sketch of ``d`` rows by ``w`` counters, each counter paired
+with an ``s``-bit clock cell. Every occurrence increments the ``d``
+hashed counters and refreshes their clocks; when a clock expires the
+counter is erased, so a counter only ever accumulates occurrences of
+the *current* batches mapping to it. The size estimate is the usual
+Count-Min minimum over the ``d`` rows, which (within the window
+guarantee) never underestimates the true batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hashing import IndexDeriver
+from ..timebase import WindowSpec
+from ..units import parse_memory
+from .base import ClockSketchBase
+from .clockarray import ClockArray
+
+__all__ = ["ClockCountMin"]
+
+#: §6.5 uses 16-bit counters (b = 16 in §5.4).
+DEFAULT_COUNTER_BITS = 16
+
+#: §5.4/§6.5: the optimal clock width is 3-4 at small memory and 8 at
+#: 64 KB+; 4 is a safe default.
+DEFAULT_S_SIZE = 4
+
+
+class ClockCountMin(ClockSketchBase):
+    """Clock-sketch for item batch size (CM+clock).
+
+    Parameters
+    ----------
+    width:
+        Counters per row (``w``).
+    depth:
+        Number of rows (``d``, the paper's ``k``).
+    s:
+        Bits per clock cell.
+    window:
+        The sliding window ``T``.
+    counter_bits:
+        Counter width ``b``; counters saturate at ``2^b - 1`` instead of
+        overflowing.
+    conservative:
+        Enable conservative update (Estan & Varghese): an insert only
+        increments the hashed counters that equal the current minimum,
+        which keeps the estimate an overestimate while shrinking
+        collision error — a classic Count-Min refinement the paper
+        leaves on the table (measured in the A5 ablation).
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> cm = ClockCountMin(width=256, depth=3, s=4, window=count_window(64))
+    >>> for _ in range(5):
+    ...     cm.insert("key")
+    >>> cm.query("key")
+    5
+    """
+
+    def __init__(self, width: int, depth: int, s: int, window: WindowSpec,
+                 counter_bits: int = DEFAULT_COUNTER_BITS, seed: int = 0,
+                 sweep_mode: str = "vector", conservative: bool = False):
+        super().__init__(window)
+        self.conservative = bool(conservative)
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if not 1 <= counter_bits <= 32:
+            raise ConfigurationError(
+                f"counter bits must be in 1..32, got {counter_bits}"
+            )
+        self.width = int(width)
+        self.depth = int(depth)
+        self.s = int(s)
+        self.counter_bits = int(counter_bits)
+        self.counter_max = (1 << counter_bits) - 1
+        # Counters are stored flat, row-major, sharing index space with
+        # the clock array so one cleaning pointer sweeps everything.
+        self.counters = np.zeros(self.width * self.depth, dtype=np.uint32)
+        self.clock = ClockArray(
+            self.width * self.depth, s, window,
+            on_expire=self._clear_cells, sweep_mode=sweep_mode,
+        )
+        # One independent hash family per row, as in a classic CM sketch.
+        self._derivers = [
+            IndexDeriver(n=self.width, k=1, seed=seed + 1000003 * row)
+            for row in range(self.depth)
+        ]
+        self.seed = seed
+
+    def _clear_cells(self, expired: np.ndarray) -> None:
+        self.counters[expired] = 0
+
+    @classmethod
+    def from_memory(cls, memory, window: WindowSpec, depth: int = 3,
+                    s: int = DEFAULT_S_SIZE,
+                    counter_bits: int = DEFAULT_COUNTER_BITS, seed: int = 0,
+                    sweep_mode: str = "vector",
+                    conservative: bool = False) -> "ClockCountMin":
+        """Build a sketch fitting a memory budget of ``d*w*(s+b)`` bits."""
+        bits = parse_memory(memory)
+        width = bits // (depth * (s + counter_bits))
+        if width < 1:
+            raise ConfigurationError(
+                f"memory budget {bits} bits cannot hold one counter per row"
+            )
+        return cls(width=width, depth=depth, s=s, window=window,
+                   counter_bits=counter_bits, seed=seed,
+                   sweep_mode=sweep_mode, conservative=conservative)
+
+    def _flat_indexes(self, item) -> "list[int]":
+        return [
+            row * self.width + deriver.indexes(item)[0]
+            for row, deriver in enumerate(self._derivers)
+        ]
+
+    def _bump(self, flats) -> None:
+        """Increment the selected counters (saturating, maybe conservative)."""
+        counters = self.counters
+        counter_max = self.counter_max
+        if self.conservative:
+            floor = min(counters[flat] for flat in flats)
+            target = min(floor + 1, counter_max)
+            for flat in flats:
+                if counters[flat] < target:
+                    counters[flat] = target
+        else:
+            for flat in flats:
+                if counters[flat] < counter_max:
+                    counters[flat] += 1
+
+    def insert(self, item, t=None) -> None:
+        """Record an occurrence of ``item``, growing its batch counters."""
+        now = self._insert_time(t)
+        self.clock.advance(now)
+        flats = self._flat_indexes(item)
+        self._bump(flats)
+        self.clock.touch(flats)
+
+    def insert_many(self, keys, times=None) -> None:
+        """Insert an array of integer keys (bulk-hashed).
+
+        With a deferred cleaner and plain (non-conservative) updates,
+        inserts are chunk-vectorised: within one cleaning circle the
+        counter increments commute, so whole chunks go through
+        ``np.add.at`` — the stand-in for the paper's SIMD+thread mode.
+        """
+        keys = np.asarray(keys)
+        offsets = np.arange(self.depth, dtype=np.int64) * self.width
+        columns = np.stack(
+            [d.bulk_single(keys) for d in self._derivers], axis=1
+        )  # (N, depth)
+        flat_matrix = columns + offsets[None, :]
+        if not self.window.is_count_based and times is None:
+            raise ConfigurationError("time-based insert_many requires times")
+        if self.clock.is_deferred and not self.conservative:
+            self._insert_chunked(flat_matrix, times)
+            return
+        clock = self.clock
+        if self.window.is_count_based:
+            time_iter = (None for _ in range(len(keys)))
+        else:
+            time_iter = iter(np.asarray(times, dtype=float))
+        for row in flat_matrix:
+            now = self._insert_time(next(time_iter))
+            clock.advance(now)
+            self._bump(row)
+            clock.touch(row)
+
+    def _insert_chunked(self, flat_matrix: np.ndarray, times) -> None:
+        """Vectorised insertion in one-cleaning-circle chunks."""
+        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
+        counters = self.counters
+        counter_max = self.counter_max
+        values = self.clock.values
+        max_value = self.clock.max_value
+        total = len(flat_matrix)
+        times = None if times is None else np.asarray(times, dtype=float)
+        pos = 0
+        while pos < total:
+            end = min(pos + chunk, total)
+            self._items_inserted += end - pos
+            if self.window.is_count_based:
+                self._now = float(self._items_inserted)
+            else:
+                self._now = float(times[end - 1])
+            self.clock.advance(self._now)
+            flats = flat_matrix[pos:end].ravel()
+            # uint32 counters cannot wrap at these chunk sizes; clamp
+            # only the touched cells back to the counter ceiling.
+            np.add.at(counters, flats, 1)
+            touched = np.unique(flats)
+            over = touched[counters[touched] > counter_max]
+            if over.size:
+                counters[over] = counter_max
+            values[flats] = max_value
+            pos = end
+
+    def query(self, item, t=None) -> int:
+        """Estimated size of the item's active batch (0 when inactive)."""
+        now = self._query_time(t)
+        self.clock.advance(now)
+        return int(min(self.counters[flat] for flat in self._flat_indexes(item)))
+
+    def query_many(self, keys, t=None) -> np.ndarray:
+        """Vectorised :meth:`query` over an integer key array."""
+        now = self._query_time(t)
+        self.clock.advance(now)
+        offsets = np.arange(self.depth, dtype=np.int64) * self.width
+        columns = np.stack(
+            [d.bulk_single(np.asarray(keys)) for d in self._derivers], axis=1
+        )
+        flat_matrix = columns + offsets[None, :]
+        return np.min(self.counters[flat_matrix], axis=1).astype(np.int64)
+
+    def memory_bits(self) -> int:
+        """Accounted footprint: ``d * w`` cells of ``s + b`` bits."""
+        return self.width * self.depth * (self.s + self.counter_bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClockCountMin(width={self.width}, depth={self.depth}, "
+            f"s={self.s}, b={self.counter_bits}, window={self.window})"
+        )

@@ -1,0 +1,190 @@
+"""BF-ts+clock — item batch time span (paper §4.3).
+
+A Bloom filter whose cells each carry an ``s``-bit clock cell *and* a
+64-bit timestamp sketch cell. The timestamp records the arrival of the
+first item of the batch currently occupying the cell: it is written
+only when the cell is empty (timestamp zero) and erased when the clock
+expires. Querying an active batch returns ``t_cur - t_begin`` where
+``t_begin`` is the *newest* of the ``k`` hashed timestamps — collisions
+can only make a cell's timestamp older than the batch start, so taking
+the newest yields an answer that is either exact or an overestimate of
+the span (never an underestimate of ``t_begin``).
+
+Timestamp zero is the "empty" sentinel, so stream times must be
+positive; count-based streams (items at times 1, 2, ...) satisfy this
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, TimeError
+from ..hashing import IndexDeriver
+from ..timebase import WindowSpec
+from ..units import parse_memory
+from .base import ClockSketchBase
+from .clockarray import ClockArray
+from .params import cells_for_memory
+
+__all__ = ["ClockTimeSpanSketch", "TimeSpanResult"]
+
+#: §5.3/§6.4: the optimal clock width lies in [8, 64] and is 8 at the
+#: paper's reference configuration (M = 128 KB, W = 4096).
+DEFAULT_S_TIMESPAN = 8
+
+#: The paper stores 64-bit timestamps (t = 64 in §5.3).
+TIMESTAMP_BITS = 64
+
+
+@dataclass(frozen=True)
+class TimeSpanResult:
+    """Answer to a time-span query.
+
+    ``active`` is False when any hashed clock is zero (batch inactive);
+    ``span``/``begin`` are then None.
+    """
+
+    active: bool
+    span: "float | None" = None
+    begin: "float | None" = None
+
+
+class ClockTimeSpanSketch(ClockSketchBase):
+    """Clock-sketch for item batch time span (BF-ts+clock).
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> ts = ClockTimeSpanSketch(n=512, k=2, s=8, window=count_window(64))
+    >>> for _ in range(10):
+    ...     ts.insert("job-7")
+    >>> ts.query("job-7").span
+    9.0
+    """
+
+    def __init__(self, n: int, k: int, s: int, window: WindowSpec,
+                 seed: int = 0, sweep_mode: str = "vector"):
+        super().__init__(window)
+        self.s = int(s)
+        self.k = int(k)
+        self.timestamps = np.zeros(n, dtype=np.float64)
+        self.clock = ClockArray(
+            n, s, window, on_expire=self._clear_cells, sweep_mode=sweep_mode
+        )
+        self.deriver = IndexDeriver(n=n, k=k, seed=seed)
+        self.seed = seed
+
+    def _clear_cells(self, expired: np.ndarray) -> None:
+        self.timestamps[expired] = 0.0
+
+    @classmethod
+    def from_memory(cls, memory, window: WindowSpec, k: int = 2,
+                    s: int = DEFAULT_S_TIMESPAN, seed: int = 0,
+                    sweep_mode: str = "vector") -> "ClockTimeSpanSketch":
+        """Build a sketch that fits a memory budget of clock+timestamp cells."""
+        bits = parse_memory(memory)
+        n = cells_for_memory(bits, s + TIMESTAMP_BITS)
+        return cls(n=n, k=k, s=s, window=window, seed=seed, sweep_mode=sweep_mode)
+
+    @property
+    def n(self) -> int:
+        """Number of (clock, timestamp) cell pairs."""
+        return self.clock.n
+
+    def insert(self, item, t=None) -> None:
+        """Record an occurrence of ``item``; starts a batch if cells are empty."""
+        now = self._insert_time(t)
+        if now <= 0:
+            raise TimeError("time-span sketch requires positive stream times")
+        self.clock.advance(now)
+        idxs = self.deriver.indexes(item)
+        self.clock.touch(idxs)
+        ts = self.timestamps
+        for i in idxs:
+            if ts[i] == 0.0:
+                ts[i] = now
+
+    def insert_many(self, keys, times=None) -> None:
+        """Insert an array of integer keys (bulk-hashed).
+
+        With a deferred cleaner, inserts are chunk-vectorised: within a
+        cleaning circle, "write the timestamp if the cell is empty"
+        reduces to a per-cell minimum over the chunk's arrival times.
+        """
+        keys = np.asarray(keys)
+        index_matrix = self.deriver.bulk(keys)
+        if not self.window.is_count_based and times is None:
+            raise ConfigurationError("time-based insert_many requires times")
+        if self.clock.is_deferred:
+            self._insert_chunked(index_matrix, times)
+            return
+        ts = self.timestamps
+        clock = self.clock
+        if self.window.is_count_based:
+            time_iter = (None for _ in range(len(keys)))
+        else:
+            time_iter = iter(np.asarray(times, dtype=float))
+        for row in index_matrix:
+            now = self._insert_time(next(time_iter))
+            clock.advance(now)
+            clock.touch(row)
+            for i in row:
+                if ts[i] == 0.0:
+                    ts[i] = now
+
+    def _insert_chunked(self, index_matrix: np.ndarray, times) -> None:
+        """Vectorised insertion in one-cleaning-circle chunks."""
+        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
+        ts = self.timestamps
+        values = self.clock.values
+        max_value = self.clock.max_value
+        total = len(index_matrix)
+        times = None if times is None else np.asarray(times, dtype=float)
+        k = self.k
+        pos = 0
+        while pos < total:
+            end = min(pos + chunk, total)
+            start_count = self._items_inserted
+            self._items_inserted += end - pos
+            if self.window.is_count_based:
+                stamps = np.arange(start_count + 1, self._items_inserted + 1,
+                                   dtype=np.float64)
+                self._now = float(self._items_inserted)
+            else:
+                stamps = times[pos:end]
+                self._now = float(stamps[-1])
+            self.clock.advance(self._now)
+            flats = index_matrix[pos:end].ravel()
+            # First-writer-wins per cell: the minimum arrival time of
+            # the chunk's writers, applied only to empty cells (working
+            # over the chunk's unique cells keeps this O(chunk)).
+            uniq, inverse = np.unique(flats, return_inverse=True)
+            firsts = np.full(uniq.size, np.inf)
+            np.minimum.at(firsts, inverse, np.repeat(stamps, k))
+            empty = ts[uniq] == 0.0
+            ts[uniq[empty]] = firsts[empty]
+            values[flats] = max_value
+            pos = end
+
+    def query(self, item, t=None) -> TimeSpanResult:
+        """Time span of the item's batch at time ``t`` (or the latest time)."""
+        now = self._query_time(t)
+        self.clock.advance(now)
+        idxs = self.deriver.indexes(item)
+        if not self.clock.are_nonzero(idxs):
+            return TimeSpanResult(active=False)
+        begin = float(np.max(self.timestamps[idxs]))
+        return TimeSpanResult(active=True, span=now - begin, begin=begin)
+
+    def memory_bits(self) -> int:
+        """Accounted footprint: ``n`` cells of ``s + 64`` bits."""
+        return self.n * (self.s + TIMESTAMP_BITS)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClockTimeSpanSketch(n={self.n}, k={self.k}, s={self.s}, "
+            f"window={self.window})"
+        )

@@ -1,0 +1,44 @@
+"""Dataset synthesizers.
+
+The paper evaluates on CAIDA traces, the Criteo click log, and a SNAP
+stack-exchange dump, none of which are available offline. Per the
+substitution policy in DESIGN.md §4, this subpackage synthesizes traces
+that reproduce the properties the algorithms are sensitive to —
+heavy-tailed key popularity and explicit item-batch structure — using
+the same generative model the paper's §5 analysis assumes (exponential
+batch spans and sizes, renewal inter-batch gaps).
+
+Entry points:
+
+- :func:`~repro.datasets.synthetic.batch_stream` — the generic
+  batch-structured generator every dataset builds on.
+- :func:`~repro.datasets.caida.caida_like`,
+  :func:`~repro.datasets.criteo.criteo_like`,
+  :func:`~repro.datasets.network.network_like` — paper-dataset
+  stand-ins with scale knobs matched to the reported statistics.
+- :func:`~repro.datasets.registry.get_dataset` — name-based lookup used
+  by the experiment harness ("caida", "criteo", "network").
+"""
+
+from .adversarial import boundary_stream, lfu_poison_stream, scan_stream
+from .synthetic import BatchWorkload, batch_stream, uniform_stream, zipf_stream, periodic_stream
+from .caida import caida_like
+from .criteo import criteo_like
+from .network import network_like
+from .registry import DATASETS, get_dataset
+
+__all__ = [
+    "BatchWorkload",
+    "batch_stream",
+    "uniform_stream",
+    "zipf_stream",
+    "periodic_stream",
+    "boundary_stream",
+    "lfu_poison_stream",
+    "scan_stream",
+    "caida_like",
+    "criteo_like",
+    "network_like",
+    "DATASETS",
+    "get_dataset",
+]

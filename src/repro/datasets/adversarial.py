@@ -1,0 +1,76 @@
+"""Adversarial stream generators for boundary and stress testing.
+
+The synthetic datasets model realistic traffic; these generators model
+the *worst* traffic — items arriving exactly at window boundaries and
+access patterns built to defeat specific cache policies. They back the
+stress tests and are useful for validating any new structure's edge
+behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..streams import Stream
+
+__all__ = ["boundary_stream", "lfu_poison_stream", "scan_stream"]
+
+
+def boundary_stream(n_keys: int, window_length: int, repeats: int = 3,
+                    offset: int = 0) -> Stream:
+    """Keys re-appearing at gaps of exactly T-1, T, and T+1 items.
+
+    The nastiest input for a windowed structure: every re-occurrence
+    sits on one side of the activeness boundary. ``offset`` shifts the
+    phase against the cleaning pointer. Count-based by construction.
+    """
+    if n_keys < 1 or window_length < 2:
+        raise DatasetError("need n_keys >= 1 and window_length >= 2")
+    gaps = (window_length - 1, window_length, window_length + 1)
+    keys: "list[int]" = [0] * offset
+    filler = 10_000_000
+    for index in range(n_keys):
+        gap = gaps[index % len(gaps)]
+        for _ in range(repeats):
+            keys.append(index)
+            for _ in range(gap - 1):
+                keys.append(filler)
+                filler += 1
+    return Stream(np.asarray(keys, dtype=np.int64), name="boundary")
+
+
+def lfu_poison_stream(n_items: int, pinned: int = 8, seed: int = 0) -> Stream:
+    """The LFU-pinning pathology of §1.1 as an explicit workload.
+
+    A hot prefix makes ``pinned`` keys very frequent, then they vanish
+    forever while a rotating working set arrives — frequency-based
+    eviction keeps serving the ghosts.
+    """
+    rng = np.random.default_rng(seed)
+    head = rng.permutation(np.repeat(np.arange(pinned), n_items // 10 // pinned))
+    tail_len = n_items - len(head)
+    # Rotating phases of fresh keys, each reused enough to be cacheable.
+    phase_keys = 64
+    phases = np.arange(tail_len) // (tail_len // 20 + 1)
+    within = rng.integers(0, phase_keys, size=tail_len)
+    tail = 1000 + phases * phase_keys + within
+    keys = np.concatenate([head, tail]).astype(np.int64)
+    return Stream(keys, name="lfu-poison")
+
+
+def scan_stream(n_items: int, scan_length: int, hot_keys: int = 32,
+                seed: int = 0) -> Stream:
+    """Hot working set periodically flushed by one-shot scans.
+
+    The classic cache-pollution pattern: ``hot_keys`` keys with high
+    reuse, interrupted by long scans of never-repeating keys.
+    """
+    rng = np.random.default_rng(seed)
+    keys: "list[int]" = []
+    scan_key = 5_000_000
+    while len(keys) < n_items:
+        keys.extend(rng.integers(0, hot_keys, size=scan_length).tolist())
+        keys.extend(range(scan_key, scan_key + scan_length))
+        scan_key += scan_length
+    return Stream(np.asarray(keys[:n_items], dtype=np.int64), name="scan")

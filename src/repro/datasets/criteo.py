@@ -1,0 +1,32 @@
+"""Criteo-like click-stream synthesizer.
+
+The paper's Criteo sample has ~150 K unique hashed categorical terms
+with click-session batch structure (user behaviour: short bursts of
+clicks on a commodity type, long pauses between sessions). The
+stand-in uses moderately skewed popularity and smaller, sparser batches
+than the CAIDA stand-in.
+"""
+
+from __future__ import annotations
+
+from ..streams import Stream
+from .synthetic import BatchWorkload, batch_stream
+
+#: Items-per-key ratio chosen so a full-size trace has ~150 K keys.
+ITEMS_PER_KEY = 30
+
+
+def criteo_like(n_items: int = 500_000, window_hint: float = 65536.0,
+                seed: int = 0, zipf_exponent: float = 0.8,
+                mean_batch_size: float = 6.0) -> Stream:
+    """A Criteo-style ad-click trace: click sessions with long pauses."""
+    workload = BatchWorkload(
+        n_items=n_items,
+        n_keys=max(1, n_items // ITEMS_PER_KEY),
+        window_hint=window_hint,
+        zipf_exponent=zipf_exponent,
+        mean_batch_size=mean_batch_size,
+        within_gap_fraction=0.08,
+        between_gap_factor=6.0,
+    )
+    return batch_stream(workload, seed=seed, name="criteo-like")

@@ -1,0 +1,31 @@
+"""Network-like (stack-exchange) trace synthesizer.
+
+The paper's "Network" dataset is users' posting history on stack
+exchange (SNAP): user u answers at time t, keyed by u. Activity is very
+long-tailed — a few prolific users, many occasional ones — with small
+bursts of answers separated by long idle periods.
+"""
+
+from __future__ import annotations
+
+from ..streams import Stream
+from .synthetic import BatchWorkload, batch_stream
+
+#: Posting activity is sparser per key than packet traces.
+ITEMS_PER_KEY = 15
+
+
+def network_like(n_items: int = 500_000, window_hint: float = 65536.0,
+                 seed: int = 0, zipf_exponent: float = 1.3,
+                 mean_batch_size: float = 3.0) -> Stream:
+    """A stack-exchange-style activity trace: small bursts, long tail."""
+    workload = BatchWorkload(
+        n_items=n_items,
+        n_keys=max(1, n_items // ITEMS_PER_KEY),
+        window_hint=window_hint,
+        zipf_exponent=zipf_exponent,
+        mean_batch_size=mean_batch_size,
+        within_gap_fraction=0.1,
+        between_gap_factor=8.0,
+    )
+    return batch_stream(workload, seed=seed, name="network-like")

@@ -1,0 +1,30 @@
+"""Name-based dataset lookup for the experiment harness."""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from ..streams import Stream
+from .caida import caida_like
+from .criteo import criteo_like
+from .network import network_like
+
+DATASETS = {
+    "caida": caida_like,
+    "criteo": criteo_like,
+    "network": network_like,
+}
+
+
+def get_dataset(name: str, n_items: int, window_hint: float,
+                seed: int = 0) -> Stream:
+    """Synthesize the named dataset stand-in at the requested scale.
+
+    ``name`` is one of ``"caida"``, ``"criteo"``, ``"network"`` —
+    matching the three datasets of the paper's §6.1.
+    """
+    try:
+        factory = DATASETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+    return factory(n_items=n_items, window_hint=window_hint, seed=seed)

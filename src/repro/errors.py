@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Clock-Sketch reproduction library.
+
+All exceptions raised on purpose by :mod:`repro` derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` et al.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters.
+
+    Examples: a clock-cell width outside ``2..64`` bits, a memory budget
+    too small to hold a single cell, or a window length that is not
+    positive.
+    """
+
+
+class MemoryBudgetError(ConfigurationError):
+    """A memory budget cannot accommodate the requested structure."""
+
+
+class TimeError(ReproError, ValueError):
+    """A time value violated the stream contract.
+
+    Raised when a sketch or tracker is asked to move backwards in time,
+    or when a time-based structure receives an item without a timestamp.
+    """
+
+
+class EstimatorSaturatedError(ReproError, RuntimeError):
+    """An estimator was queried in a state where no estimate exists.
+
+    Linear-counting estimators saturate when every cell is occupied. By
+    default the library clamps instead of raising; structures raise this
+    only when explicitly configured with ``strict=True``.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name was unknown or generator parameters were invalid."""

@@ -1,0 +1,29 @@
+"""Extensions implementing the paper's §7 future-work directions.
+
+- :mod:`repro.ext.similar` — item batches of *similar* (not identical)
+  items: a mapper canonicalises items into equivalence classes before
+  they reach any sketch ("beef and steak are similar items").
+- :mod:`repro.ext.adaptive` — per-key learned batch thresholds: "the
+  threshold T for two different item batches may differ and an
+  algorithm should learn the proper thresholds".
+- :mod:`repro.ext.merge` — mergeable Clock-sketches for distributed
+  measurement ("combining Flink framework can help save
+  synchronization cost in distributed measurement").
+"""
+
+from .similar import KeyedMapper, SimilarItemSketch, TokenPrefixMapper
+from .adaptive import AdaptiveBatchTracker, GapThresholdLearner
+from .merge import merge_bloom_filters, merge_bitmaps, merge_count_mins
+from .pipeline import DistributedMeasurement
+
+__all__ = [
+    "DistributedMeasurement",
+    "KeyedMapper",
+    "TokenPrefixMapper",
+    "SimilarItemSketch",
+    "GapThresholdLearner",
+    "AdaptiveBatchTracker",
+    "merge_bloom_filters",
+    "merge_bitmaps",
+    "merge_count_mins",
+]

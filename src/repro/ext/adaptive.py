@@ -1,0 +1,154 @@
+"""Per-key adaptive batch thresholds (paper §7, future work 2).
+
+"The threshold T for two different item batches B_a and B_b may differ
+and an algorithm should learn the proper thresholds for different item
+batches."
+
+:class:`GapThresholdLearner` learns a per-key threshold as a multiple
+of the key's smoothed inter-arrival gap (an EWMA), clamped to a global
+range; :class:`AdaptiveBatchTracker` segments batches online with the
+learned thresholds — keys with naturally slow cadence are not broken
+into spurious batches, fast keys are not merged into one endless batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, TimeError
+
+__all__ = ["GapThresholdLearner", "AdaptiveBatchTracker"]
+
+
+class GapThresholdLearner:
+    """Learns per-key thresholds from observed inter-arrival gaps.
+
+    The learned threshold is ``multiplier`` times the EWMA of the key's
+    gaps, clamped into ``[min_threshold, max_threshold]``. Before any
+    gap is observed the default ``min_threshold`` applies... rather,
+    the initial threshold is the geometric mean of the clamp range,
+    which makes first batches neither trivially split nor merged.
+
+    Examples
+    --------
+    >>> learner = GapThresholdLearner(multiplier=4.0, min_threshold=2.0,
+    ...                               max_threshold=100.0)
+    >>> for gap in [1.0, 1.0, 1.0]:
+    ...     learner.update("fast", gap)
+    >>> learner.threshold("fast")
+    4.0
+    """
+
+    def __init__(self, multiplier: float = 4.0, min_threshold: float = 1.0,
+                 max_threshold: float = 1e9, alpha: float = 0.25):
+        if multiplier <= 1:
+            raise ConfigurationError("multiplier must exceed 1")
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if min_threshold > max_threshold:
+            raise ConfigurationError("min_threshold exceeds max_threshold")
+        self.multiplier = float(multiplier)
+        self.min_threshold = float(min_threshold)
+        self.max_threshold = float(max_threshold)
+        self.alpha = float(alpha)
+        self._ewma: "dict[object, float]" = {}
+        self._default = (min_threshold * max_threshold) ** 0.5
+
+    def update(self, key, gap: float) -> None:
+        """Feed one observed inter-arrival gap for the key.
+
+        Gaps far above the key's learned cadence (``multiplier`` times
+        the EWMA, before clamping) are silences between batches, not
+        cadence — they are excluded from the EWMA so one long pause
+        does not inflate the threshold forever. The first gap of a key
+        is always cadence (there is nothing to compare against).
+        """
+        if gap < 0:
+            raise ConfigurationError(f"gap must be non-negative, got {gap}")
+        prev = self._ewma.get(key)
+        if prev is not None and gap >= self.multiplier * prev:
+            return
+        self._ewma[key] = (
+            gap if prev is None else (1 - self.alpha) * prev + self.alpha * gap
+        )
+
+    def threshold(self, key) -> float:
+        """The key's current learned threshold."""
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            return min(max(self._default, self.min_threshold),
+                       self.max_threshold)
+        return min(max(self.multiplier * ewma, self.min_threshold),
+                   self.max_threshold)
+
+
+@dataclass
+class _KeyState:
+    start: float
+    last: float
+    size: int
+    batches: int
+
+
+class AdaptiveBatchTracker:
+    """Online batch segmentation with learned per-key thresholds.
+
+    Like :class:`~repro.streams.BatchTracker` but the gap threshold is
+    per-key and evolves as the stream is observed.
+
+    Examples
+    --------
+    >>> tracker = AdaptiveBatchTracker(GapThresholdLearner(
+    ...     multiplier=3.0, min_threshold=1.0, max_threshold=50.0))
+    >>> for t in [1.0, 2.0, 3.0, 30.0]:   # cadence 1, then a long pause
+    ...     tracker.observe("k", t)
+    >>> tracker.batches_seen("k")          # the pause split the batch
+    2
+    """
+
+    def __init__(self, learner: GapThresholdLearner):
+        self.learner = learner
+        self._states: "dict[object, _KeyState]" = {}
+        self._now = 0.0
+
+    def observe(self, key, t: float) -> None:
+        """Record an occurrence of ``key`` at time ``t``."""
+        if t < self._now:
+            raise TimeError(f"time moved backwards: {t} < {self._now}")
+        self._now = float(t)
+        state = self._states.get(key)
+        if state is None:
+            self._states[key] = _KeyState(start=t, last=t, size=1, batches=1)
+            return
+        gap = t - state.last
+        threshold = self.learner.threshold(key)
+        self.learner.update(key, gap)
+        if gap < threshold:
+            state.size += 1
+        else:
+            state.start = t
+            state.size = 1
+            state.batches += 1
+        state.last = t
+
+    def is_active(self, key, now=None) -> bool:
+        """Active under the key's own learned threshold."""
+        state = self._states.get(key)
+        if state is None:
+            return False
+        now = self._now if now is None else now
+        return now - state.last < self.learner.threshold(key)
+
+    def size(self, key) -> "int | None":
+        """Current batch size, or None if the key is unseen."""
+        state = self._states.get(key)
+        return state.size if state is not None else None
+
+    def batches_seen(self, key) -> int:
+        """How many batches the key has started."""
+        state = self._states.get(key)
+        return state.batches if state is not None else 0
+
+    def threshold(self, key) -> float:
+        """The key's current learned threshold (delegates to learner)."""
+        return self.learner.threshold(key)

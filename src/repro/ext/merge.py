@@ -1,0 +1,101 @@
+"""Mergeable Clock-sketches for distributed measurement (paper §7).
+
+Workers measuring disjoint substreams of the same logical stream can
+merge their sketches at a synchronisation point instead of sharing
+state per item. The merges are conservative unions:
+
+- clock cells merge by element-wise **max** — an item active in any
+  worker stays active in the union, and no clock is ever newer than its
+  newest writer, so the window guarantee carries over;
+- CM+clock counters merge by **sum** (each worker counted disjoint
+  occurrences) with their clocks merged by max.
+
+Merging requires structurally identical sketches (same cells, hashes,
+seed, window) whose cleaning pointers are at the same position — i.e.
+workers synchronise at a common stream time, exactly the Flink-style
+barrier the paper envisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.activeness import ClockBloomFilter
+from ..core.cardinality import ClockBitmap
+from ..core.size import ClockCountMin
+from ..errors import ConfigurationError
+
+__all__ = ["merge_bloom_filters", "merge_bitmaps", "merge_count_mins"]
+
+
+def _check_mergeable(a, b, attrs) -> None:
+    for attr in attrs:
+        va, vb = getattr(a, attr), getattr(b, attr)
+        if va != vb:
+            raise ConfigurationError(
+                f"cannot merge: {attr} differs ({va} != {vb})"
+            )
+    if a.clock.steps_done != b.clock.steps_done:
+        raise ConfigurationError(
+            "cannot merge: cleaning pointers disagree "
+            f"({a.clock.steps_done} != {b.clock.steps_done} steps); "
+            "synchronise both sketches to the same stream time first"
+        )
+
+
+def merge_bloom_filters(a: ClockBloomFilter, b: ClockBloomFilter,
+                        into: "ClockBloomFilter | None" = None) -> ClockBloomFilter:
+    """Union of two BF+clock sketches (element-wise clock max).
+
+    Examples
+    --------
+    >>> from repro import ClockBloomFilter, time_window
+    >>> w = time_window(100.0)
+    >>> f1 = ClockBloomFilter(n=256, k=3, s=2, window=w, seed=5)
+    >>> f2 = ClockBloomFilter(n=256, k=3, s=2, window=w, seed=5)
+    >>> f1.insert("left", t=1.0); f2.insert("right", t=2.0)
+    >>> f1.contains("right", t=3.0); f2.contains("right", t=3.0)
+    False
+    True
+    >>> merged = merge_bloom_filters(f1, f2)
+    >>> merged.contains("left"), merged.contains("right")
+    (True, True)
+    """
+    _check_mergeable(a, b, ("n", "k", "s", "window", "seed"))
+    result = into if into is not None else a
+    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
+    result._now = max(a.now, b.now)
+    result._items_inserted = a.items_inserted + b.items_inserted
+    return result
+
+
+def merge_bitmaps(a: ClockBitmap, b: ClockBitmap,
+                  into: "ClockBitmap | None" = None) -> ClockBitmap:
+    """Union of two BM+clock sketches (element-wise clock max)."""
+    _check_mergeable(a, b, ("n", "s", "window", "seed"))
+    result = into if into is not None else a
+    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
+    result._now = max(a.now, b.now)
+    result._items_inserted = a.items_inserted + b.items_inserted
+    return result
+
+
+def merge_count_mins(a: ClockCountMin, b: ClockCountMin,
+                     into: "ClockCountMin | None" = None) -> ClockCountMin:
+    """Merge two CM+clock sketches: counters sum, clocks max.
+
+    Counter sums saturate at the counter maximum rather than wrapping.
+    """
+    _check_mergeable(
+        a, b, ("width", "depth", "s", "counter_bits", "window", "seed")
+    )
+    result = into if into is not None else a
+    summed = a.counters.astype(np.int64) + b.counters.astype(np.int64)
+    result.counters = np.minimum(summed, a.counter_max).astype(a.counters.dtype)
+    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
+    # A counter is live only while its clock is; zero out any counter
+    # whose merged clock is zero (both sides expired).
+    result.counters[result.clock.values == 0] = 0
+    result._now = max(a.now, b.now)
+    result._items_inserted = a.items_inserted + b.items_inserted
+    return result

@@ -1,0 +1,154 @@
+"""A miniature distributed measurement pipeline (paper §7).
+
+"Besides, item batch measurement is also useful in distributed systems.
+Combining Flink framework can help save synchronization cost in
+distributed measurement."
+
+:class:`DistributedMeasurement` models the Flink-style topology the
+paper sketches: a keyed partitioner routes the stream to N workers,
+each maintaining its own Clock-sketches with *zero* coordination;
+at synchronisation barriers the coordinator aligns every worker to the
+barrier time, merges their sketches (conservative union — see
+:mod:`repro.ext.merge`), and answers global queries from the union.
+Between barriers the only shared state is the barrier clock itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.activeness import ClockBloomFilter
+from ..core.cardinality import ClockBitmap
+from ..core.size import ClockCountMin
+from ..errors import ConfigurationError
+from ..timebase import WindowSpec
+from .merge import merge_bitmaps, merge_bloom_filters, merge_count_mins
+
+__all__ = ["DistributedMeasurement"]
+
+
+class _Worker:
+    """One worker's private sketches."""
+
+    def __init__(self, window: WindowSpec, memory, seed: int):
+        self.activeness = ClockBloomFilter.from_memory(memory, window,
+                                                       seed=seed)
+        self.cardinality = ClockBitmap.from_memory(memory, window,
+                                                   seed=seed + 1)
+        self.sizes = ClockCountMin.from_memory(memory, window, seed=seed + 2)
+        self.items = 0
+
+    def ingest(self, keys: np.ndarray, times: np.ndarray) -> None:
+        self.activeness.insert_many(keys, times)
+        self.cardinality.insert_many(keys, times)
+        self.sizes.insert_many(keys, times)
+        self.items += len(keys)
+
+    def align(self, barrier: float) -> None:
+        for sketch in (self.activeness, self.cardinality, self.sizes):
+            sketch.clock.advance(barrier)
+            sketch._now = barrier
+
+
+class DistributedMeasurement:
+    """N workers measuring one logical stream, merged at barriers.
+
+    Workers share *seeds* (so their sketches are structurally identical
+    and mergeable) but no runtime state. Time-based windows only: a
+    barrier is a stream time every worker has reached.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of parallel workers.
+    window:
+        The (time-based) batch window.
+    memory:
+        Per-sketch budget for each worker.
+    """
+
+    def __init__(self, n_workers: int, window: WindowSpec, memory="16KB",
+                 seed: int = 0):
+        if n_workers < 1:
+            raise ConfigurationError(f"need >= 1 worker, got {n_workers}")
+        if window.is_count_based:
+            raise ConfigurationError(
+                "distributed barriers need a time-based window: worker-"
+                "local item counts do not define a shared clock"
+            )
+        self.window = window
+        self.workers = [_Worker(window, memory, seed) for _ in range(n_workers)]
+        self._merged = None
+        self._barrier = 0.0
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers."""
+        return len(self.workers)
+
+    def partition(self, key) -> int:
+        """The worker a key is routed to (stable keyed partitioning)."""
+        return int(key) % self.n_workers
+
+    def ingest(self, keys, times) -> None:
+        """Route a stream chunk to the workers (keyed partitioning)."""
+        keys = np.asarray(keys)
+        times = np.asarray(times, dtype=np.float64)
+        routes = keys % self.n_workers
+        for worker_id, worker in enumerate(self.workers):
+            mask = routes == worker_id
+            if np.any(mask):
+                worker.ingest(keys[mask], times[mask])
+        self._merged = None  # stale until the next barrier
+
+    def barrier(self, at_time: "float | None" = None):
+        """Synchronise and merge: returns the merged (global) sketches.
+
+        ``at_time`` defaults to the latest time any worker has seen.
+        """
+        import copy
+
+        if at_time is None:
+            at_time = max(w.activeness.now for w in self.workers)
+        for worker in self.workers:
+            worker.align(float(at_time))
+        # Merge into deep copies so the workers' live sketches stay
+        # private (they keep ingesting after the barrier).
+        activeness = copy.deepcopy(self.workers[0].activeness)
+        cardinality = copy.deepcopy(self.workers[0].cardinality)
+        sizes = copy.deepcopy(self.workers[0].sizes)
+        for other in self.workers[1:]:
+            activeness = merge_bloom_filters(activeness, other.activeness)
+            cardinality = merge_bitmaps(cardinality, other.cardinality)
+            sizes = merge_count_mins(sizes, other.sizes)
+        self._merged = (activeness, cardinality, sizes)
+        self._barrier = float(at_time)
+        return self._merged
+
+    def _require_barrier(self):
+        if self._merged is None:
+            raise ConfigurationError(
+                "no barrier since the last ingest; call barrier() first"
+            )
+        return self._merged
+
+    def is_active(self, key) -> bool:
+        """Global activeness of a key's batch (as of the last barrier)."""
+        return self._require_barrier()[0].contains(key)
+
+    def active_batches(self) -> float:
+        """Global active-batch estimate (as of the last barrier)."""
+        return self._require_barrier()[1].estimate().value
+
+    def batch_size(self, key) -> int:
+        """Global batch-size estimate (as of the last barrier).
+
+        Exact-or-over for the worker that owns the key; summation across
+        workers only adds (keyed routing means one worker holds each
+        key's counts, others contribute zero or collision noise).
+        """
+        return self._require_barrier()[2].query(key)
+
+    def total_items(self) -> int:
+        """Items ingested across all workers."""
+        return sum(w.items for w in self.workers)

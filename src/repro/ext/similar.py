@@ -1,0 +1,98 @@
+"""Similar-item batches (paper §7, future work 1).
+
+"Item batch composed of similar items rather than identical items. For
+example, when processing a stream of purchase records, beef and steak
+are similar items while soap and milk are not."
+
+The mechanism: a *mapper* sends each raw item to a canonical
+equivalence-class representative, and a :class:`SimilarItemSketch`
+applies the mapper in front of any of the library's sketches. Batches
+are then batches of the class, not the literal item.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KeyedMapper", "TokenPrefixMapper", "SimilarItemSketch"]
+
+
+class KeyedMapper:
+    """Maps items to classes through an explicit dictionary.
+
+    Items without an entry map to themselves (singleton classes).
+
+    Examples
+    --------
+    >>> m = KeyedMapper({"beef": "meat", "steak": "meat"})
+    >>> m("beef") == m("steak")
+    True
+    >>> m("soap")
+    'soap'
+    """
+
+    def __init__(self, mapping: dict):
+        self.mapping = dict(mapping)
+
+    def __call__(self, item):
+        return self.mapping.get(item, item)
+
+
+class TokenPrefixMapper:
+    """Maps string items to their first ``tokens`` '/'-separated tokens.
+
+    Useful for hierarchical identifiers (URL paths, product categories):
+    ``"meat/beef"`` and ``"meat/steak"`` share the class ``"meat"``.
+
+    Examples
+    --------
+    >>> m = TokenPrefixMapper(1)
+    >>> m("meat/beef") == m("meat/steak")
+    True
+    """
+
+    def __init__(self, tokens: int = 1, separator: str = "/"):
+        self.tokens = int(tokens)
+        self.separator = separator
+
+    def __call__(self, item):
+        if not isinstance(item, str):
+            return item
+        return self.separator.join(item.split(self.separator)[: self.tokens])
+
+
+class SimilarItemSketch:
+    """Wraps any sketch so it measures batches of similar items.
+
+    The wrapped sketch must expose ``insert``; ``contains`` and
+    ``query`` are forwarded when present.
+
+    Examples
+    --------
+    >>> from repro import ClockBloomFilter, count_window
+    >>> base = ClockBloomFilter(n=512, k=3, s=2, window=count_window(32))
+    >>> sk = SimilarItemSketch(base, KeyedMapper({"beef": "meat",
+    ...                                           "steak": "meat"}))
+    >>> sk.insert("beef")
+    >>> sk.contains("steak")  # same class => same batch
+    True
+    """
+
+    def __init__(self, sketch, mapper):
+        self.sketch = sketch
+        self.mapper = mapper
+
+    def insert(self, item, t=None) -> None:
+        """Insert the item's class into the wrapped sketch."""
+        self.sketch.insert(self.mapper(item), t)
+
+    def contains(self, item, t=None) -> bool:
+        """Activeness of the item's class batch."""
+        return self.sketch.contains(self.mapper(item), t)
+
+    def query(self, item, t=None):
+        """Forward a measurement query for the item's class."""
+        return self.sketch.query(self.mapper(item), t)
+
+    def __getattr__(self, name):
+        # Estimators and metadata (estimate, memory_bits, ...) pass
+        # straight through to the wrapped sketch.
+        return getattr(self.sketch, name)

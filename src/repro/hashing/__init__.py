@@ -1,0 +1,36 @@
+"""Hashing substrate.
+
+The paper implements all sketches over the 32-bit Bob Jenkins hash
+("Bob Hash", lookup3) seeded with different initial values. This
+subpackage provides:
+
+- :mod:`repro.hashing.bobhash` — a faithful pure-Python port of
+  lookup3's ``hashlittle`` / ``hashlittle2``.
+- :mod:`repro.hashing.family` — item canonicalisation and seeded hash
+  families producing 64-bit base hashes (Bob Hash or BLAKE2-backed).
+- :mod:`repro.hashing.indexing` — Kirsch–Mitzenmacher double hashing
+  that derives the ``k`` cell indexes every sketch needs, including a
+  numpy-vectorised bulk path for integer key arrays.
+- :mod:`repro.hashing.fingerprint` — fixed-width fingerprints used by
+  the SWAMP baseline.
+"""
+
+from .bobhash import hashlittle, hashlittle2, bob_hash64
+from .family import BobHashFamily, Blake2HashFamily, canonical_bytes, default_family
+from .indexing import IndexDeriver, splitmix64, bulk_base_hashes, scalar_base_hash
+from .fingerprint import Fingerprinter
+
+__all__ = [
+    "hashlittle",
+    "hashlittle2",
+    "bob_hash64",
+    "BobHashFamily",
+    "Blake2HashFamily",
+    "canonical_bytes",
+    "default_family",
+    "IndexDeriver",
+    "splitmix64",
+    "bulk_base_hashes",
+    "scalar_base_hash",
+    "Fingerprinter",
+]

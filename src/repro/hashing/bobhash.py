@@ -1,0 +1,139 @@
+"""Pure-Python port of Bob Jenkins' lookup3 hash (the paper's "Bob Hash").
+
+The paper's C++ implementation uses the 32-bit Bob Hash from
+http://burtleburtle.net/bob/hash/doobs.html with different initial
+seeds for the ``k`` hash functions of each sketch. This module ports
+``hashlittle`` (one 32-bit result) and ``hashlittle2`` (two 32-bit
+results) from lookup3.c, operating on ``bytes``.
+
+The port follows the byte-at-a-time branch of lookup3.c, so it produces
+the canonical little-endian values for any input length.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rot(x: int, k: int) -> int:
+    """Rotate a 32-bit value left by ``k`` bits."""
+    return ((x << k) | (x >> (32 - k))) & _MASK32
+
+
+def _mix(a: int, b: int, c: int) -> "tuple[int, int, int]":
+    """lookup3's mix(): reversibly scramble three 32-bit values."""
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 4)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 6)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 8)
+    b = (b + a) & _MASK32
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 16)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 19)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 4)
+    b = (b + a) & _MASK32
+    return a, b, c
+
+
+def _final(a: int, b: int, c: int) -> "tuple[int, int, int]":
+    """lookup3's final(): irreversibly mix three values into c."""
+    c ^= b
+    c = (c - _rot(b, 14)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 11)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 25)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 16)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 4)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 14)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 24)) & _MASK32
+    return a, b, c
+
+
+def _tail_add(data: bytes, offset: int, length: int, a: int, b: int, c: int):
+    """Add the final ``length`` (< 13) bytes into a, b, c (little-endian)."""
+    k = data[offset:offset + length]
+    # The cascade mirrors lookup3.c's byte-wise switch; each word takes
+    # up to 4 bytes little-endian.
+    if length >= 12:
+        c = (c + (k[11] << 24)) & _MASK32
+    if length >= 11:
+        c = (c + (k[10] << 16)) & _MASK32
+    if length >= 10:
+        c = (c + (k[9] << 8)) & _MASK32
+    if length >= 9:
+        c = (c + k[8]) & _MASK32
+    if length >= 8:
+        b = (b + (k[7] << 24)) & _MASK32
+    if length >= 7:
+        b = (b + (k[6] << 16)) & _MASK32
+    if length >= 6:
+        b = (b + (k[5] << 8)) & _MASK32
+    if length >= 5:
+        b = (b + k[4]) & _MASK32
+    if length >= 4:
+        a = (a + (k[3] << 24)) & _MASK32
+    if length >= 3:
+        a = (a + (k[2] << 16)) & _MASK32
+    if length >= 2:
+        a = (a + (k[1] << 8)) & _MASK32
+    if length >= 1:
+        a = (a + k[0]) & _MASK32
+    return a, b, c
+
+
+def hashlittle2(data: bytes, initval: int = 0, initval2: int = 0) -> "tuple[int, int]":
+    """Return two 32-bit hashes of ``data`` (primary, secondary).
+
+    Port of lookup3.c's ``hashlittle2``; ``initval`` and ``initval2``
+    seed the two results. The primary result equals
+    ``hashlittle(data, initval)`` when ``initval2 == 0``.
+    """
+    length = len(data)
+    a = b = c = (0xDEADBEEF + length + (initval & _MASK32)) & _MASK32
+    c = (c + (initval2 & _MASK32)) & _MASK32
+
+    offset = 0
+    remaining = length
+    while remaining > 12:
+        a = (a + int.from_bytes(data[offset:offset + 4], "little")) & _MASK32
+        b = (b + int.from_bytes(data[offset + 4:offset + 8], "little")) & _MASK32
+        c = (c + int.from_bytes(data[offset + 8:offset + 12], "little")) & _MASK32
+        a, b, c = _mix(a, b, c)
+        offset += 12
+        remaining -= 12
+
+    if remaining == 0:
+        # lookup3 returns (c, b) untouched for a zero-length tail.
+        return c, b
+    a, b, c = _tail_add(data, offset, remaining, a, b, c)
+    a, b, c = _final(a, b, c)
+    return c, b
+
+
+def hashlittle(data: bytes, initval: int = 0) -> int:
+    """Return the 32-bit lookup3 ``hashlittle`` of ``data``."""
+    c, _b = hashlittle2(data, initval, 0)
+    return c
+
+
+def bob_hash64(data: bytes, seed: int = 0) -> int:
+    """Return a 64-bit hash built from ``hashlittle2``'s two outputs.
+
+    This is the base hash the sketches split into the Kirsch-Mitzenmacher
+    ``(h1, h2)`` pair (see :mod:`repro.hashing.indexing`).
+    """
+    c, b = hashlittle2(data, seed & _MASK32, (seed >> 32) & _MASK32)
+    return (b << 32) | c

@@ -1,0 +1,188 @@
+"""One-stop item-batch monitoring: all four measurements, one object.
+
+:class:`ItemBatchMonitor` bundles the four Clock-sketch structures
+behind a single ``observe``/``report`` interface with a shared window
+and a single memory budget, split across the tasks the caller enables.
+This is the "framework" face of the library: applications that want
+item-batch telemetry without assembling sketches by hand (the examples
+and §1.1 use cases) start here.
+
+>>> from repro import ItemBatchMonitor, count_window
+>>> monitor = ItemBatchMonitor(count_window(64), memory="32KB", seed=1)
+>>> for _ in range(5):
+...     monitor.observe("flow-7")
+>>> monitor.is_active("flow-7")
+True
+>>> monitor.batch_size("flow-7")
+5
+>>> report = monitor.report("flow-7")
+>>> (report.active, report.size, report.span)
+(True, 5, 4.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analysis import membership_fpr
+from .core import (
+    ClockBitmap,
+    ClockBloomFilter,
+    ClockCountMin,
+    ClockTimeSpanSketch,
+)
+from .errors import ConfigurationError
+from .timebase import WindowSpec
+from .units import parse_memory
+
+__all__ = ["ItemBatchMonitor", "BatchReport"]
+
+#: Default share of the memory budget per enabled task. Activeness and
+#: cardinality cells are tiny (s bits), so most of the budget goes to
+#: the counter/timestamp tasks, mirroring the paper's per-task budgets.
+DEFAULT_SPLIT = {
+    "activeness": 0.1,
+    "cardinality": 0.1,
+    "size": 0.4,
+    "span": 0.4,
+}
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything the monitor knows about one item's batch."""
+
+    key: object
+    active: bool
+    size: "int | None"
+    span: "float | None"
+    begin: "float | None"
+
+
+class ItemBatchMonitor:
+    """All four item-batch measurements behind one interface.
+
+    Parameters
+    ----------
+    window:
+        The batch threshold ``T`` (count- or time-based).
+    memory:
+        Total budget (bytes or ``"32KB"``), split across enabled tasks.
+    tasks:
+        Iterable of task names to enable, from ``{"activeness",
+        "cardinality", "size", "span"}``. Defaults to all four.
+    split:
+        Optional ``{task: fraction}`` overriding the budget split;
+        fractions are renormalised over the enabled tasks.
+    """
+
+    TASKS = ("activeness", "cardinality", "size", "span")
+
+    def __init__(self, window: WindowSpec, memory="64KB", tasks=None,
+                 split=None, seed: int = 0):
+        self.window = window
+        enabled = tuple(tasks) if tasks is not None else self.TASKS
+        unknown = set(enabled) - set(self.TASKS)
+        if unknown:
+            raise ConfigurationError(f"unknown tasks: {sorted(unknown)}")
+        if not enabled:
+            raise ConfigurationError("enable at least one task")
+        self.tasks = enabled
+
+        weights = dict(DEFAULT_SPLIT)
+        if split:
+            weights.update(split)
+        total_weight = sum(weights[t] for t in enabled)
+        bits = parse_memory(memory)
+        budget = {t: int(bits * weights[t] / total_weight) for t in enabled}
+
+        self.activeness = None
+        self.cardinality = None
+        self.size_sketch = None
+        self.span_sketch = None
+        if "activeness" in enabled:
+            self.activeness = ClockBloomFilter.from_memory(
+                budget["activeness"] // 8, window, seed=seed)
+        if "cardinality" in enabled:
+            self.cardinality = ClockBitmap.from_memory(
+                budget["cardinality"] // 8, window, seed=seed + 1)
+        if "size" in enabled:
+            self.size_sketch = ClockCountMin.from_memory(
+                budget["size"] // 8, window, seed=seed + 2)
+        if "span" in enabled:
+            self.span_sketch = ClockTimeSpanSketch.from_memory(
+                budget["span"] // 8, window, seed=seed + 3)
+        self._sketches = [s for s in (self.activeness, self.cardinality,
+                                      self.size_sketch, self.span_sketch)
+                          if s is not None]
+
+    def observe(self, key, t=None) -> None:
+        """Record one occurrence of ``key`` in every enabled structure."""
+        for sketch in self._sketches:
+            sketch.insert(key, t)
+
+    def observe_stream(self, stream) -> None:
+        """Feed a whole :class:`~repro.streams.Stream` (bulk paths)."""
+        times = stream.times if not self.window.is_count_based else None
+        for sketch in self._sketches:
+            sketch.insert_many(stream.keys, times)
+
+    def _require(self, attribute, task):
+        sketch = getattr(self, attribute)
+        if sketch is None:
+            raise ConfigurationError(f"task {task!r} is not enabled")
+        return sketch
+
+    def is_active(self, key, t=None) -> bool:
+        """Is the key's batch active? (Needs the activeness task.)"""
+        return self._require("activeness", "activeness").contains(key, t)
+
+    def active_batches(self, t=None) -> float:
+        """Estimated number of active batches. (Cardinality task.)"""
+        return self._require("cardinality", "cardinality").estimate(t).value
+
+    def batch_size(self, key, t=None) -> int:
+        """Estimated size of the key's active batch. (Size task.)"""
+        return self._require("size_sketch", "size").query(key, t)
+
+    def batch_span(self, key, t=None):
+        """Span result for the key's batch. (Span task.)"""
+        return self._require("span_sketch", "span").query(key, t)
+
+    def report(self, key, t=None) -> BatchReport:
+        """Combined answer from every enabled per-key task."""
+        active = (self.activeness.contains(key, t)
+                  if self.activeness is not None else None)
+        size = (self.size_sketch.query(key)
+                if self.size_sketch is not None else None)
+        span = begin = None
+        if self.span_sketch is not None:
+            result = self.span_sketch.query(key)
+            if result.active:
+                span, begin = result.span, result.begin
+            elif active is None:
+                active = False
+        if active is None:
+            active = span is not None
+        if not active:
+            size, span, begin = None, None, None
+        return BatchReport(key=key, active=bool(active), size=size,
+                           span=span, begin=begin)
+
+    def predicted_fpr(self) -> "float | None":
+        """§5.1's predicted activeness FPR at this configuration."""
+        if self.activeness is None:
+            return None
+        return membership_fpr(self.activeness.memory_bits(),
+                              self.window.length, self.activeness.s,
+                              k=self.activeness.k)
+
+    def memory_bits(self) -> int:
+        """Total accounted footprint of the enabled structures."""
+        return sum(s.memory_bits() for s in self._sketches)
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemBatchMonitor(window={self.window}, tasks={self.tasks}, "
+            f"memory={self.memory_bits() // 8192}KB)"
+        )

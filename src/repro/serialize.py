@@ -1,0 +1,133 @@
+"""Saving and restoring sketch state.
+
+Long-running deployments snapshot their sketches across restarts; the
+merge extension ships sketches between workers. This module serialises
+any of the four Clock-sketch structures to (and from) an ``.npz``
+payload: configuration plus the raw cell arrays and the cleaner's exact
+position, so a restored sketch continues bit-for-bit where it stopped.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from .core import ClockBitmap, ClockBloomFilter, ClockCountMin, ClockTimeSpanSketch
+from .errors import ConfigurationError
+from .timebase import WindowKind, WindowSpec
+
+__all__ = ["dump_sketch", "dumps_sketch", "load_sketch", "loads_sketch"]
+
+_KINDS = {
+    "ClockBloomFilter": ClockBloomFilter,
+    "ClockBitmap": ClockBitmap,
+    "ClockCountMin": ClockCountMin,
+    "ClockTimeSpanSketch": ClockTimeSpanSketch,
+}
+
+
+def _window_fields(window: WindowSpec):
+    return window.length, window.kind.value
+
+
+def _build_window(length: float, kind: str) -> WindowSpec:
+    return WindowSpec(length=length, kind=WindowKind(kind))
+
+
+def _payload(sketch) -> dict:
+    kind = type(sketch).__name__
+    if kind not in _KINDS:
+        raise ConfigurationError(f"cannot serialise {kind}")
+    length, wkind = _window_fields(sketch.window)
+    payload = {
+        "kind": np.array(kind),
+        "window_length": np.array(length),
+        "window_kind": np.array(wkind),
+        "seed": np.array(sketch.seed),
+        "sweep_mode": np.array(sketch.clock.sweep_mode),
+        "clock_values": sketch.clock.values,
+        "steps_done": np.array(sketch.clock.steps_done),
+        "now": np.array(sketch.now),
+        "items_inserted": np.array(sketch.items_inserted),
+        "s": np.array(sketch.s),
+    }
+    if kind == "ClockBloomFilter":
+        payload["k"] = np.array(sketch.k)
+        payload["n"] = np.array(sketch.n)
+    elif kind == "ClockBitmap":
+        payload["n"] = np.array(sketch.n)
+    elif kind == "ClockCountMin":
+        payload["width"] = np.array(sketch.width)
+        payload["depth"] = np.array(sketch.depth)
+        payload["counter_bits"] = np.array(sketch.counter_bits)
+        payload["conservative"] = np.array(sketch.conservative)
+        payload["counters"] = sketch.counters
+    elif kind == "ClockTimeSpanSketch":
+        payload["k"] = np.array(sketch.k)
+        payload["n"] = np.array(sketch.n)
+        payload["timestamps"] = sketch.timestamps
+    return payload
+
+
+def _restore(payload) -> object:
+    kind = str(payload["kind"])
+    window = _build_window(float(payload["window_length"]),
+                           str(payload["window_kind"]))
+    seed = int(payload["seed"])
+    sweep_mode = str(payload["sweep_mode"])
+    s = int(payload["s"])
+    if kind == "ClockBloomFilter":
+        sketch = ClockBloomFilter(n=int(payload["n"]), k=int(payload["k"]),
+                                  s=s, window=window, seed=seed,
+                                  sweep_mode=sweep_mode)
+    elif kind == "ClockBitmap":
+        sketch = ClockBitmap(n=int(payload["n"]), s=s, window=window,
+                             seed=seed, sweep_mode=sweep_mode)
+    elif kind == "ClockCountMin":
+        conservative = bool(payload["conservative"]) \
+            if "conservative" in payload else False
+        sketch = ClockCountMin(width=int(payload["width"]),
+                               depth=int(payload["depth"]), s=s,
+                               window=window,
+                               counter_bits=int(payload["counter_bits"]),
+                               seed=seed, sweep_mode=sweep_mode,
+                               conservative=conservative)
+        sketch.counters[:] = payload["counters"]
+    elif kind == "ClockTimeSpanSketch":
+        sketch = ClockTimeSpanSketch(n=int(payload["n"]), k=int(payload["k"]),
+                                     s=s, window=window, seed=seed,
+                                     sweep_mode=sweep_mode)
+        sketch.timestamps[:] = payload["timestamps"]
+    else:
+        raise ConfigurationError(f"cannot restore sketch kind {kind!r}")
+    sketch.clock.values[:] = payload["clock_values"]
+    sketch.clock._steps_done = int(payload["steps_done"])
+    sketch.clock._now = float(payload["now"])
+    sketch._now = float(payload["now"])
+    sketch._items_inserted = int(payload["items_inserted"])
+    return sketch
+
+
+def dump_sketch(sketch, path) -> None:
+    """Serialise a sketch to an ``.npz`` file."""
+    np.savez_compressed(path, **_payload(sketch))
+
+
+def dumps_sketch(sketch) -> bytes:
+    """Serialise a sketch to bytes (for network transfer)."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_payload(sketch))
+    return buffer.getvalue()
+
+
+def load_sketch(path):
+    """Restore a sketch from an ``.npz`` file."""
+    with np.load(path, allow_pickle=False) as payload:
+        return _restore(payload)
+
+
+def loads_sketch(data: bytes):
+    """Restore a sketch from bytes produced by :func:`dumps_sketch`."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as payload:
+        return _restore(payload)

@@ -1,0 +1,45 @@
+"""Data stream model, batch semantics, and exact ground truth.
+
+The sketches estimate; this subpackage computes the truth they are
+judged against:
+
+- :mod:`repro.streams.model` — the :class:`Stream` container used by
+  datasets and experiments (keys plus optional timestamps).
+- :mod:`repro.streams.groundtruth` — :class:`BatchTracker`, an exact
+  online tracker of batch activeness/cardinality/span/size, plus
+  vectorised helpers for whole-stream evaluation.
+- :mod:`repro.streams.batches` — offline batch segmentation of a
+  finished stream into explicit ``Batch`` records.
+"""
+
+from .model import Stream
+from .groundtruth import (
+    BatchTracker,
+    BatchState,
+    last_occurrences,
+    split_active_inactive,
+)
+from .batches import Batch, segment_batches
+from .statistics import (
+    BatchStatistics,
+    activity_series,
+    describe,
+    popularity_skew,
+)
+from .topk import SpaceSaving, TopEntry
+
+__all__ = [
+    "SpaceSaving",
+    "TopEntry",
+    "BatchStatistics",
+    "describe",
+    "popularity_skew",
+    "activity_series",
+    "Stream",
+    "BatchTracker",
+    "BatchState",
+    "last_occurrences",
+    "split_active_inactive",
+    "Batch",
+    "segment_batches",
+]

@@ -1,0 +1,91 @@
+"""Offline batch segmentation of a finished stream.
+
+Applications (burst detection, APT detection, ad analytics) reason
+about whole batches: their start, end, span, and size. This module
+segments a completed :class:`~repro.streams.model.Stream` into explicit
+:class:`Batch` records using the same gap convention as the online
+ground truth (``gap < T`` extends a batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timebase import WindowSpec
+from .model import Stream
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One item batch of a single key.
+
+    Attributes
+    ----------
+    key:
+        The item identifier.
+    start / end:
+        Arrival times of the first and last item of the batch.
+    size:
+        Number of items in the batch.
+    """
+
+    key: int
+    start: float
+    end: float
+    size: int
+
+    @property
+    def span(self) -> float:
+        """Time between the batch's first and last item."""
+        return self.end - self.start
+
+    @property
+    def density(self) -> float:
+        """Items per unit time; the burst-detection score (§1.1 case 2).
+
+        A single-item batch has infinite density by this definition, so
+        it is floored by treating the span as at least one time unit.
+        """
+        return self.size / max(self.span, 1.0)
+
+
+def segment_batches(stream: Stream, window: WindowSpec) -> "list[Batch]":
+    """Segment a stream into all its item batches, in start order.
+
+    Uses count-based times when the window is count-based, otherwise
+    the stream's timestamps.
+    """
+    times = stream.effective_times(window.is_count_based).astype(np.float64)
+    keys = stream.keys
+    order = np.argsort(keys, kind="stable")  # stable keeps time order per key
+    sorted_keys = keys[order]
+    sorted_times = times[order]
+
+    batches: "list[Batch]" = []
+    i = 0
+    n = len(sorted_keys)
+    gap = window.length
+    while i < n:
+        key = sorted_keys[i]
+        j = i
+        while j < n and sorted_keys[j] == key:
+            j += 1
+        # Items i..j-1 belong to this key, times ascending.
+        start = sorted_times[i]
+        prev = start
+        size = 1
+        for idx in range(i + 1, j):
+            t = sorted_times[idx]
+            if t - prev < gap:
+                size += 1
+            else:
+                batches.append(Batch(int(key), float(start), float(prev), size))
+                start = t
+                size = 1
+            prev = t
+        batches.append(Batch(int(key), float(start), float(prev), size))
+        i = j
+    batches.sort(key=lambda b: (b.start, b.key))
+    return batches

@@ -1,0 +1,190 @@
+"""Exact ground truth for item batch measurements.
+
+:class:`BatchTracker` maintains, per key, the state of the *current*
+batch (start time, last occurrence, size) and answers the four
+measurement questions exactly. The library-wide batch convention is:
+
+- an occurrence at ``t`` **extends** the current batch iff
+  ``t - last < T`` (otherwise it starts a new batch), and
+- a batch is **active** at ``now`` iff ``now - last < T``.
+
+The two conditions use the same strict inequality, so a batch is active
+precisely while a new occurrence would still extend it. This matches
+the clock guarantee: cells written at ``t`` provably survive every
+query with ``now - t < T``.
+
+The module also provides vectorised whole-stream helpers used by the
+accuracy experiments, which must classify hundreds of thousands of keys
+as active/inactive at a query instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TimeError
+from ..timebase import WindowSpec
+
+
+@dataclass
+class BatchState:
+    """Per-key state of the current (most recent) batch."""
+
+    start: float
+    last: float
+    size: int
+    batches_seen: int
+
+
+class BatchTracker:
+    """Exact online tracker of item batches under a window ``T``.
+
+    Examples
+    --------
+    >>> from repro.timebase import count_window
+    >>> gt = BatchTracker(count_window(3))
+    >>> for key in ["a", "a", "b", "a"]:
+    ...     gt.observe(key)
+    >>> gt.is_active("a")
+    True
+    >>> gt.size("a")
+    3
+    """
+
+    def __init__(self, window: WindowSpec):
+        self.window = window
+        self._states: "dict[object, BatchState]" = {}
+        self._items = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Latest stream time observed."""
+        return self._now
+
+    def _observe_time(self, t) -> float:
+        if self.window.is_count_based:
+            if t is not None:
+                raise TimeError("count-based tracker takes no timestamps")
+            self._items += 1
+            self._now = float(self._items)
+        else:
+            if t is None:
+                raise TimeError("time-based tracker requires timestamps")
+            if t < self._now:
+                raise TimeError(f"time moved backwards: {t} < {self._now}")
+            self._items += 1
+            self._now = float(t)
+        return self._now
+
+    def observe(self, key, t=None) -> None:
+        """Record an occurrence of ``key``."""
+        now = self._observe_time(t)
+        state = self._states.get(key)
+        if state is None or not self.window.contains(state.last, now):
+            batches = 1 if state is None else state.batches_seen + 1
+            self._states[key] = BatchState(
+                start=now, last=now, size=1, batches_seen=batches
+            )
+        else:
+            state.last = now
+            state.size += 1
+
+    def observe_stream(self, stream) -> None:
+        """Feed a whole :class:`~repro.streams.model.Stream`."""
+        if self.window.is_count_based:
+            for key in stream.keys:
+                self.observe(int(key))
+        else:
+            for key, t in zip(stream.keys, stream.times):
+                self.observe(int(key), float(t))
+
+    # ------------------------------------------------------------------
+    # Queries (all take an optional explicit "now")
+    # ------------------------------------------------------------------
+
+    def _resolve_now(self, now) -> float:
+        return self._now if now is None else float(now)
+
+    def is_active(self, key, now=None) -> bool:
+        """Is the key's batch active at ``now``?"""
+        state = self._states.get(key)
+        if state is None:
+            return False
+        return self.window.contains(state.last, self._resolve_now(now))
+
+    def span(self, key, now=None) -> "float | None":
+        """Time since the batch started, or None when inactive."""
+        state = self._states.get(key)
+        now = self._resolve_now(now)
+        if state is None or not self.window.contains(state.last, now):
+            return None
+        return now - state.start
+
+    def size(self, key, now=None) -> "int | None":
+        """Items in the active batch, or None when inactive."""
+        state = self._states.get(key)
+        if state is None or not self.window.contains(state.last, self._resolve_now(now)):
+            return None
+        return state.size
+
+    def active_cardinality(self, now=None) -> int:
+        """Number of active item batches (distinct active keys)."""
+        now = self._resolve_now(now)
+        contains = self.window.contains
+        return sum(1 for state in self._states.values() if contains(state.last, now))
+
+    def active_keys(self, now=None) -> list:
+        """All keys whose batch is active at ``now``."""
+        now = self._resolve_now(now)
+        contains = self.window.contains
+        return [k for k, st in self._states.items() if contains(st.last, now)]
+
+    def inactive_seen_keys(self, now=None) -> list:
+        """Keys seen before whose batches are now inactive.
+
+        This is the paper's FPR query set: querying these, every
+        positive answer is a false positive.
+        """
+        now = self._resolve_now(now)
+        contains = self.window.contains
+        return [k for k, st in self._states.items() if not contains(st.last, now)]
+
+    def state(self, key) -> "BatchState | None":
+        """The raw per-key batch state (None if never seen)."""
+        return self._states.get(key)
+
+    def keys_seen(self) -> int:
+        """Number of distinct keys ever observed."""
+        return len(self._states)
+
+
+# ----------------------------------------------------------------------
+# Vectorised whole-stream helpers
+# ----------------------------------------------------------------------
+
+def last_occurrences(keys: np.ndarray, times: np.ndarray):
+    """Last occurrence time of every distinct key in a finished stream.
+
+    Returns ``(unique_keys, last_times)`` aligned arrays.
+    """
+    keys = np.asarray(keys)
+    times = np.asarray(times)
+    unique, inverse = np.unique(keys, return_inverse=True)
+    last = np.full(unique.shape, -np.inf, dtype=np.float64)
+    np.maximum.at(last, inverse, times.astype(np.float64))
+    return unique, last
+
+
+def split_active_inactive(keys: np.ndarray, times: np.ndarray, now: float,
+                          window: WindowSpec):
+    """Partition a stream's distinct keys by activeness at ``now``.
+
+    Returns ``(active_keys, inactive_keys)`` — the exact ground truth
+    the FPR experiments need, computed vectorised.
+    """
+    unique, last = last_occurrences(keys, times)
+    active_mask = (now - last) < window.length
+    return unique[active_mask], unique[~active_mask]

@@ -1,0 +1,94 @@
+"""The :class:`Stream` container.
+
+A stream is an ordered sequence of integer keys, optionally with
+non-decreasing timestamps. Count-based experiments ignore timestamps
+(item ``i`` arrives at time ``i + 1``); time-based experiments require
+them. Dataset synthesizers produce :class:`Stream` objects and the
+experiment harness consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class Stream:
+    """An ordered key stream with optional timestamps.
+
+    Attributes
+    ----------
+    keys:
+        int64 array of item identifiers, in arrival order.
+    times:
+        Optional float64 array of non-decreasing arrival timestamps,
+        aligned with ``keys``. ``None`` for purely count-based traces.
+    name:
+        Human-readable trace name (e.g. ``"caida-like"``).
+    """
+
+    keys: np.ndarray
+    times: "np.ndarray | None" = None
+    name: str = "stream"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.keys = np.ascontiguousarray(self.keys, dtype=np.int64)
+        if self.times is not None:
+            self.times = np.ascontiguousarray(self.times, dtype=np.float64)
+            if len(self.times) != len(self.keys):
+                raise ConfigurationError(
+                    f"times length {len(self.times)} != keys length {len(self.keys)}"
+                )
+            if len(self.times) and np.any(np.diff(self.times) < 0):
+                raise ConfigurationError("timestamps must be non-decreasing")
+            if len(self.times) and self.times[0] <= 0:
+                raise ConfigurationError("timestamps must be positive")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def has_times(self) -> bool:
+        """True when the stream carries explicit timestamps."""
+        return self.times is not None
+
+    def count_times(self) -> np.ndarray:
+        """The count-based arrival times ``1..len`` of the items."""
+        return np.arange(1, len(self.keys) + 1, dtype=np.int64)
+
+    def effective_times(self, count_based: bool) -> np.ndarray:
+        """Arrival times under the requested window kind."""
+        if count_based:
+            return self.count_times()
+        if self.times is None:
+            raise ConfigurationError(
+                f"stream {self.name!r} has no timestamps; cannot run time-based"
+            )
+        return self.times
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys in the trace."""
+        return int(np.unique(self.keys).size)
+
+    def prefix(self, length: int) -> "Stream":
+        """The first ``length`` items as a new :class:`Stream` view."""
+        times = self.times[:length] if self.times is not None else None
+        return Stream(self.keys[:length], times, name=self.name, meta=self.meta)
+
+    def events(self):
+        """Yield ``(key, time-or-None)`` pairs in arrival order."""
+        if self.times is None:
+            for key in self.keys:
+                yield int(key), None
+        else:
+            for key, t in zip(self.keys, self.times):
+                yield int(key), float(t)
+
+    def __repr__(self) -> str:
+        timed = "timed" if self.has_times else "count-based"
+        return f"Stream({self.name!r}, n={len(self)}, {timed})"

@@ -1,0 +1,111 @@
+"""Descriptive statistics of streams and their batch structure.
+
+Used to validate that synthetic traces reproduce the properties the
+paper's datasets are chosen for (heavy-tailed popularity, real batch
+structure) and by the trace-analysis example. All statistics are
+computed vectorised from one batch segmentation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timebase import WindowSpec
+from .batches import segment_batches
+from .model import Stream
+
+__all__ = ["BatchStatistics", "describe", "popularity_skew",
+           "activity_series"]
+
+
+@dataclass(frozen=True)
+class BatchStatistics:
+    """Summary of a stream's item-batch structure under a window.
+
+    All ``*_mean``/``*_p50``/``*_p90`` fields describe the population
+    of batches (not items).
+    """
+
+    n_items: int
+    n_keys: int
+    n_batches: int
+    batches_per_key_mean: float
+    size_mean: float
+    size_p50: float
+    size_p90: float
+    span_mean: float
+    span_p50: float
+    span_p90: float
+    singleton_fraction: float
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        return "\n".join([
+            f"items            {self.n_items}",
+            f"distinct keys    {self.n_keys}",
+            f"batches          {self.n_batches} "
+            f"({self.batches_per_key_mean:.2f} per key)",
+            f"batch size       mean {self.size_mean:.2f}  "
+            f"p50 {self.size_p50:.0f}  p90 {self.size_p90:.0f}",
+            f"batch span       mean {self.span_mean:.2f}  "
+            f"p50 {self.span_p50:.2f}  p90 {self.span_p90:.2f}",
+            f"singleton share  {self.singleton_fraction:.1%}",
+        ])
+
+
+def describe(stream: Stream, window: WindowSpec) -> BatchStatistics:
+    """Compute batch statistics of a stream under a window."""
+    batches = segment_batches(stream, window)
+    sizes = np.array([b.size for b in batches], dtype=np.float64)
+    spans = np.array([b.span for b in batches], dtype=np.float64)
+    keys = {b.key for b in batches}
+    return BatchStatistics(
+        n_items=len(stream),
+        n_keys=len(keys),
+        n_batches=len(batches),
+        batches_per_key_mean=len(batches) / max(len(keys), 1),
+        size_mean=float(sizes.mean()),
+        size_p50=float(np.percentile(sizes, 50)),
+        size_p90=float(np.percentile(sizes, 90)),
+        span_mean=float(spans.mean()),
+        span_p50=float(np.percentile(spans, 50)),
+        span_p90=float(np.percentile(spans, 90)),
+        singleton_fraction=float(np.mean(sizes == 1)),
+    )
+
+
+def popularity_skew(stream: Stream, top_fraction: float = 0.1) -> float:
+    """Share of all items held by the most popular ``top_fraction`` keys.
+
+    ~``top_fraction`` for uniform streams, approaching 1.0 for heavy
+    tails — a scale-free skew measure for comparing traces.
+    """
+    counts = np.sort(np.bincount(stream.keys - stream.keys.min()))[::-1]
+    counts = counts[counts > 0]
+    top = max(1, int(np.ceil(len(counts) * top_fraction)))
+    return float(counts[:top].sum() / counts.sum())
+
+
+def activity_series(stream: Stream, window: WindowSpec,
+                    points: int = 20) -> "tuple[np.ndarray, np.ndarray]":
+    """Active-batch cardinality sampled along the stream.
+
+    Returns ``(times, active_counts)`` at ``points`` evenly spaced
+    instants — the stationarity check behind the Figure 7 discussion.
+    """
+    from .groundtruth import split_active_inactive
+
+    times = stream.effective_times(window.is_count_based)
+    sample_times = np.linspace(
+        times[0] + window.length, times[-1], num=points
+    )
+    counts = []
+    for t in sample_times:
+        limit = int(np.searchsorted(times, t, side="right"))
+        active, _ = split_active_inactive(
+            stream.keys[:limit], times[:limit], float(t), window
+        )
+        counts.append(active.size)
+    return sample_times, np.asarray(counts)

@@ -1,0 +1,100 @@
+"""Bounded-memory top-k tracking (SpaceSaving).
+
+The burst detector's "find frequently appeared burst items" (§1.1
+case 2) needs per-key counts of burst events, but an unbounded counter
+per key defeats the purpose of sketching. :class:`SpaceSaving`
+(Metwally et al.) tracks the top-k keys of a stream in O(k) memory with
+the classic guarantees: every key with true count above ``N/k`` is
+present, and each reported count overestimates by at most the minimum
+resident count (tracked per entry as ``error``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SpaceSaving", "TopEntry"]
+
+
+@dataclass(frozen=True)
+class TopEntry:
+    """One reported heavy hitter."""
+
+    key: object
+    count: int
+    error: int
+
+    @property
+    def guaranteed(self) -> int:
+        """A certain lower bound on the key's true count."""
+        return self.count - self.error
+
+
+class SpaceSaving:
+    """The SpaceSaving heavy-hitters summary.
+
+    Examples
+    --------
+    >>> top = SpaceSaving(capacity=2)
+    >>> for key in ["a", "a", "b", "c", "a"]:
+    ...     top.offer(key)
+    >>> top.top(1)[0].key
+    'a'
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._counts: "dict[object, int]" = {}
+        self._errors: "dict[object, int]" = {}
+        self._offered = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    @property
+    def offered(self) -> int:
+        """Total number of items offered."""
+        return self._offered
+
+    def offer(self, key, weight: int = 1) -> None:
+        """Count one (or ``weight``) occurrence(s) of ``key``."""
+        if weight < 1:
+            raise ConfigurationError(f"weight must be >= 1, got {weight}")
+        self._offered += weight
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0
+            return
+        # Evict the minimum-count resident; the newcomer inherits its
+        # count as its (upper-bounding) error.
+        victim = min(self._counts, key=self._counts.get)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def count(self, key) -> int:
+        """The (over-)estimated count of a resident key, else 0."""
+        return self._counts.get(key, 0)
+
+    def top(self, k: "int | None" = None) -> "list[TopEntry]":
+        """The top-``k`` entries, highest estimated count first."""
+        entries = [
+            TopEntry(key=key, count=count, error=self._errors[key])
+            for key, count in self._counts.items()
+        ]
+        entries.sort(key=lambda e: (-e.count, str(e.key)))
+        return entries if k is None else entries[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSaving(capacity={self.capacity}, tracked={len(self)}, "
+            f"offered={self._offered})"
+        )

@@ -1,0 +1,12 @@
+"""Count-based vs time-based window abstraction.
+
+The paper defines the batch threshold ``T`` either count-based (``T``
+items) or time-based (``T`` time units) and notes the two coincide for
+constant-rate streams. :class:`WindowSpec` carries the window length
+and its kind; every sketch, baseline, and ground-truth tracker in the
+library takes one, so all experiments run in both modes.
+"""
+
+from .window import WindowKind, WindowSpec, count_window, time_window
+
+__all__ = ["WindowKind", "WindowSpec", "count_window", "time_window"]

@@ -1,0 +1,82 @@
+"""The :class:`WindowSpec` value object.
+
+A window is defined by its length ``T`` and a *kind*:
+
+- ``COUNT``: "now" is the number of items processed so far; an item is
+  active if it re-appeared within the last ``T`` insertions.
+- ``TIME``: "now" is a stream timestamp; an item is active if it
+  re-appeared within the last ``T`` time units.
+
+The library treats both uniformly: structures track a monotone ``now``
+value and windows only enter the maths as the length ``T``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class WindowKind(enum.Enum):
+    """Whether window positions are item counts or timestamps."""
+
+    COUNT = "count"
+    TIME = "time"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A sliding window of length ``T`` over a data stream.
+
+    Attributes
+    ----------
+    length:
+        The window length ``T``. For count-based windows this is a
+        number of items; for time-based windows, a duration in stream
+        time units.
+    kind:
+        :class:`WindowKind`, defaults to count-based (the paper's
+        primary evaluation mode).
+    """
+
+    length: float
+    kind: WindowKind = WindowKind.COUNT
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ConfigurationError(f"window length must be positive, got {self.length}")
+        if self.kind is WindowKind.COUNT and self.length != int(self.length):
+            raise ConfigurationError(
+                f"count-based window length must be an integer, got {self.length}"
+            )
+
+    @property
+    def is_count_based(self) -> bool:
+        """True when the window counts items rather than time units."""
+        return self.kind is WindowKind.COUNT
+
+    def contains(self, event_time: float, now: float) -> bool:
+        """Is an event at ``event_time`` inside the window ending at ``now``?
+
+        The library convention is half-open: the window covers
+        ``(now - T, now]``, so an event exactly ``T`` units old has just
+        expired. This matches the clock guarantee, where a cell written
+        at ``t`` survives every sweep strictly before ``t + T``.
+        """
+        return now - event_time < self.length
+
+    def __str__(self) -> str:
+        unit = "items" if self.is_count_based else "time units"
+        return f"T={self.length:g} {unit}"
+
+
+def count_window(length: int) -> WindowSpec:
+    """Shorthand for a count-based window of ``length`` items."""
+    return WindowSpec(length=length, kind=WindowKind.COUNT)
+
+
+def time_window(length: float) -> WindowSpec:
+    """Shorthand for a time-based window of ``length`` time units."""
+    return WindowSpec(length=length, kind=WindowKind.TIME)

@@ -1,0 +1,95 @@
+"""Memory-size helpers.
+
+The paper sweeps memory budgets expressed in kilobytes (e.g. "16 KB to
+512 KB"). Internally every structure accounts for its footprint in
+*bits*, because clock cells are 2-8 bits wide and Bloom-filter cells are
+single bits. This module centralises the conversions and a forgiving
+parser for human-readable sizes, so experiment configs can say
+``"64KB"`` and mean the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigurationError
+
+BITS_PER_BYTE = 8
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * 1024
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>bits?|b|kb|kib|mb|mib|)\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_BITS = {
+    "bit": 1,
+    "bits": 1,
+    "": BITS_PER_BYTE,  # bare number means bytes
+    "b": BITS_PER_BYTE,
+    "kb": BYTES_PER_KB * BITS_PER_BYTE,
+    "kib": BYTES_PER_KB * BITS_PER_BYTE,
+    "mb": BYTES_PER_MB * BITS_PER_BYTE,
+    "mib": BYTES_PER_MB * BITS_PER_BYTE,
+}
+
+
+def kb_to_bits(kilobytes: float) -> int:
+    """Convert kilobytes to bits, rounding down to a whole bit."""
+    if kilobytes <= 0:
+        raise ConfigurationError(f"memory must be positive, got {kilobytes} KB")
+    return int(kilobytes * BYTES_PER_KB * BITS_PER_BYTE)
+
+
+def bytes_to_bits(n_bytes: float) -> int:
+    """Convert bytes to bits, rounding down to a whole bit."""
+    if n_bytes <= 0:
+        raise ConfigurationError(f"memory must be positive, got {n_bytes} bytes")
+    return int(n_bytes * BITS_PER_BYTE)
+
+
+def bits_to_kb(bits: int) -> float:
+    """Convert bits to (fractional) kilobytes."""
+    return bits / (BYTES_PER_KB * BITS_PER_BYTE)
+
+
+def parse_memory(size: "int | float | str") -> int:
+    """Parse a memory budget into bits.
+
+    Accepts an ``int``/``float`` (interpreted as **bytes**, matching how
+    the paper quotes budgets) or a string such as ``"64KB"``, ``"8 kb"``,
+    ``"1.5MB"``, ``"4096"`` (bytes) or ``"2048 bits"``.
+
+    >>> parse_memory("1KB")
+    8192
+    >>> parse_memory(16)
+    128
+    """
+    if isinstance(size, (int, float)):
+        return bytes_to_bits(size)
+    match = _SIZE_RE.match(size)
+    if match is None:
+        raise ConfigurationError(f"cannot parse memory size {size!r}")
+    number = float(match.group("num"))
+    unit = match.group("unit").lower()
+    bits = int(number * _UNIT_BITS[unit])
+    if bits <= 0:
+        raise ConfigurationError(f"memory must be positive, got {size!r}")
+    return bits
+
+
+def format_bits(bits: int) -> str:
+    """Render a bit count as the most natural human unit.
+
+    >>> format_bits(8192)
+    '1.0KB'
+    """
+    n_bytes = bits / BITS_PER_BYTE
+    if n_bytes >= BYTES_PER_MB:
+        return f"{n_bytes / BYTES_PER_MB:.1f}MB"
+    if n_bytes >= BYTES_PER_KB:
+        return f"{n_bytes / BYTES_PER_KB:.1f}KB"
+    if bits % BITS_PER_BYTE == 0:
+        return f"{int(n_bytes)}B"
+    return f"{bits}bits"

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.timebase import count_window, time_window
+
+
+@pytest.fixture
+def small_count_window():
+    """A small count-based window for unit tests."""
+    return count_window(64)
+
+
+@pytest.fixture
+def small_time_window():
+    """A small time-based window for unit tests."""
+    return time_window(64.0)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def batchy_keys(rng):
+    """A key stream with explicit batch structure: runs of repeats.
+
+    Keys appear in bursts of 3-8 consecutive occurrences with other
+    keys interleaved, giving every structure real batches to chew on.
+    """
+    keys = []
+    while len(keys) < 2000:
+        key = int(rng.integers(0, 120))
+        run = int(rng.integers(3, 9))
+        keys.extend([key] * run)
+    return np.asarray(keys[:2000], dtype=np.int64)

@@ -1,0 +1,78 @@
+"""Tests for the adversarial generators, and the structures under them."""
+
+import numpy as np
+import pytest
+
+from repro import BatchTracker, ClockBloomFilter, count_window
+from repro.baselines import TimeOutBloomFilter
+from repro.cache import ClockAssistedCache, LFUCache, LRUCache, simulate
+from repro.datasets import boundary_stream, lfu_poison_stream, scan_stream
+from repro.errors import DatasetError
+
+
+class TestBoundaryStream:
+    def test_structure(self):
+        stream = boundary_stream(n_keys=6, window_length=8, repeats=3)
+        # Each key appears exactly `repeats` times.
+        for key in range(6):
+            assert int(np.count_nonzero(stream.keys == key)) == 3
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            boundary_stream(n_keys=0, window_length=8)
+
+    def test_sketch_respects_boundaries_exactly_like_truth(self):
+        """BF+clock agrees with truth on gap T-1 (active side) and never
+        false-negatives; the T/T+1 side may false-positive only within
+        the error window."""
+        window = count_window(16)
+        stream = boundary_stream(n_keys=9, window_length=16, repeats=4)
+        sketch = ClockBloomFilter(n=8192, k=3, s=8, window=window, seed=1)
+        truth = BatchTracker(window)
+        for key in stream.keys:
+            sketch.insert(int(key))
+            truth.observe(int(key))
+            # The invariant under adversarial gaps: truth-active keys
+            # are always reported.
+            if truth.is_active(int(key)):
+                assert sketch.contains(int(key))
+
+    def test_tobf_is_exact_on_boundaries(self):
+        """Timestamp filters have no error window: gap T-1 keeps a key
+        active, gap T kills it — exactly."""
+        window = count_window(8)
+        filt = TimeOutBloomFilter(n=4096, k=2, window=window, seed=1)
+        truth = BatchTracker(window)
+        stream = boundary_stream(n_keys=6, window_length=8, repeats=3)
+        for key in stream.keys:
+            filt.insert(int(key))
+            truth.observe(int(key))
+        for key in range(6):
+            # With 4096 cells and ~40 keys, collisions are negligible.
+            assert filt.contains(key) == truth.is_active(key)
+
+
+class TestLfuPoisonStream:
+    def test_lfu_suffers_most(self):
+        stream = lfu_poison_stream(n_items=40_000, seed=1)
+        lfu = simulate(LFUCache(64), stream, warmup=6000)
+        lru = simulate(LRUCache(64), stream, warmup=6000)
+        clock = simulate(ClockAssistedCache(64, seed=1), stream, warmup=6000)
+        assert lru.hit_rate > lfu.hit_rate
+        assert clock.hit_rate > lfu.hit_rate
+
+    def test_length(self):
+        assert len(lfu_poison_stream(10_000)) == 10_000
+
+
+class TestScanStream:
+    def test_structure(self):
+        stream = scan_stream(n_items=5000, scan_length=100, hot_keys=8)
+        assert len(stream) == 5000
+        hot = stream.keys < 8
+        assert 0.3 < float(np.mean(hot)) < 0.7
+
+    def test_scans_never_repeat(self):
+        stream = scan_stream(n_items=4000, scan_length=100)
+        scan_keys = stream.keys[stream.keys >= 5_000_000]
+        assert len(np.unique(scan_keys)) == len(scan_keys)

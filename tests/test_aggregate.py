@@ -1,0 +1,64 @@
+"""Tests for multi-seed result aggregation."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import aggregate_results
+
+
+def _result(fprs):
+    result = ExperimentResult(title="T", columns=["memory_kb", "fpr"])
+    for memory, fpr in fprs:
+        result.add(memory_kb=memory, fpr=fpr)
+    return result
+
+
+class TestAggregateResults:
+    def test_mean_and_std(self):
+        merged = aggregate_results([
+            _result([(8, 0.1), (16, 0.2)]),
+            _result([(8, 0.3), (16, 0.2)]),
+        ])
+        assert merged.rows[0]["memory_kb"] == 8
+        assert merged.rows[0]["fpr"] == pytest.approx(0.2)
+        assert merged.rows[0]["fpr_std"] == pytest.approx(0.1)
+        assert merged.rows[1]["fpr_std"] == pytest.approx(0.0)
+        assert "mean of 2 seeds" in merged.title
+
+    def test_single_result_passthrough(self):
+        result = _result([(8, 0.5)])
+        assert aggregate_results([result]) is result
+
+    def test_none_values_tolerated(self):
+        merged = aggregate_results([
+            _result([(8, None)]),
+            _result([(8, 0.4)]),
+        ])
+        assert merged.rows[0]["fpr"] == pytest.approx(0.4)
+
+    def test_all_none_stays_none(self):
+        merged = aggregate_results([
+            _result([(8, None)]),
+            _result([(8, None)]),
+        ])
+        assert merged.rows[0]["fpr"] is None
+
+    def test_mismatched_grids_rejected(self):
+        with pytest.raises(ValueError, match="different grids"):
+            aggregate_results([
+                _result([(8, 0.1)]),
+                _result([(8, 0.1), (16, 0.2)]),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+
+class TestCliSeedsFlag:
+    def test_seeds_flag(self, capsys):
+        assert main(["fig7", "--quick", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean of 2 seeds" in out
+        assert "fpr_std" in out

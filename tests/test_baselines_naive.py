@@ -1,0 +1,131 @@
+"""Tests for the naive (clock-free) time-span and size baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveSizeSketch, NaiveTimeSpanSketch
+from repro.errors import ConfigurationError
+from repro.timebase import count_window, time_window
+
+
+class TestNaiveTimeSpan:
+    def test_single_batch_exact(self):
+        ts = NaiveTimeSpanSketch(n=256, k=2, window=count_window(64))
+        for _ in range(10):
+            ts.insert("job")
+        result = ts.query("job")
+        assert result.active
+        assert result.span == 9.0
+
+    def test_exact_expiry_no_error_window(self):
+        """Unlike the clocked sketch, expiry happens exactly at T."""
+        window = count_window(4)
+        ts = NaiveTimeSpanSketch(n=256, k=2, window=window)
+        ts.insert("job")        # t=1
+        for _ in range(4):
+            ts.insert("pad")    # t=5: age 4 >= 4
+        assert not ts.query("job").active
+
+    def test_restart_after_gap(self):
+        window = count_window(4)
+        ts = NaiveTimeSpanSketch(n=256, k=2, window=window)
+        ts.insert("job")
+        for _ in range(6):
+            ts.insert("pad")
+        ts.insert("job")
+        assert ts.query("job").span == 0.0
+
+    def test_overestimates_under_collision(self):
+        # Force a collision: n=1 means every key shares the cell.
+        ts = NaiveTimeSpanSketch(n=1, k=1, window=count_window(100))
+        ts.insert("early")
+        for _ in range(5):
+            ts.insert("late")
+        result = ts.query("late")
+        assert result.active
+        assert result.span >= 5.0  # inherited "early"'s start
+
+    def test_memory_is_128_bits_per_cell(self):
+        ts = NaiveTimeSpanSketch.from_memory("1KB", count_window(8))
+        assert ts.n == 8192 // 128
+        assert ts.memory_bits() == ts.n * 128
+
+    def test_insert_many_equals_loop(self, rng):
+        keys = rng.integers(0, 30, size=200)
+        w = count_window(32)
+        a = NaiveTimeSpanSketch(n=128, k=2, window=w, seed=5)
+        b = NaiveTimeSpanSketch(n=128, k=2, window=w, seed=5)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        assert np.array_equal(a.last_visit, b.last_visit)
+        assert np.array_equal(a.batch_start, b.batch_start)
+
+    def test_time_based(self):
+        ts = NaiveTimeSpanSketch(n=128, k=2, window=time_window(10.0))
+        ts.insert("a", t=1.0)
+        ts.insert("a", t=4.0)
+        assert ts.query("a", t=6.0).span == 5.0
+
+
+class TestNaiveSize:
+    def test_single_batch_exact(self):
+        cm = NaiveSizeSketch(width=128, depth=3, window=count_window(64))
+        for _ in range(5):
+            cm.insert("key")
+        assert cm.query("key") == 5
+
+    def test_stale_counter_restarts_at_one(self):
+        window = count_window(4)
+        cm = NaiveSizeSketch(width=128, depth=2, window=window)
+        cm.insert("key")
+        for _ in range(6):
+            cm.insert("pad")
+        cm.insert("key")
+        assert cm.query("key") == 1
+
+    def test_inactive_query_is_zero(self):
+        window = count_window(4)
+        cm = NaiveSizeSketch(width=128, depth=2, window=window)
+        cm.insert("key")
+        for _ in range(6):
+            cm.insert("pad")
+        assert cm.query("key") == 0
+
+    def test_counter_saturation(self):
+        cm = NaiveSizeSketch(width=16, depth=1, window=count_window(1000),
+                             counter_bits=4)
+        for _ in range(100):
+            cm.insert("hot")
+        assert cm.query("hot") == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NaiveSizeSketch(width=8, depth=0, window=count_window(8))
+        with pytest.raises(ConfigurationError):
+            NaiveSizeSketch.from_memory("1 bit", count_window(8))
+
+    def test_memory_includes_64_bit_timestamps(self):
+        cm = NaiveSizeSketch(width=100, depth=3, window=count_window(8),
+                             counter_bits=16)
+        assert cm.memory_bits() == 100 * 3 * 80
+
+    def test_insert_many_equals_loop(self, rng):
+        keys = rng.integers(0, 30, size=200)
+        w = count_window(32)
+        a = NaiveSizeSketch(width=64, depth=2, window=w, seed=5)
+        b = NaiveSizeSketch(width=64, depth=2, window=w, seed=5)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        assert np.array_equal(a.counters, b.counters)
+        assert np.array_equal(a.last_visit, b.last_visit)
+
+    def test_query_many_equals_loop(self, rng):
+        keys = rng.integers(0, 30, size=200)
+        cm = NaiveSizeSketch(width=64, depth=2, window=count_window(32),
+                             seed=5)
+        cm.insert_many(keys)
+        queries = np.arange(40)
+        assert list(cm.query_many(queries)) == \
+            [cm.query(int(q)) for q in queries]

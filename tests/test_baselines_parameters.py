@@ -1,0 +1,74 @@
+"""Parameter-handling tests for baseline constructors and budgets."""
+
+import pytest
+
+from repro.baselines import (
+    CounterVectorSketch,
+    IdealSlidingBloom,
+    Swamp,
+    TimeOutBloomFilter,
+    TimingBloomFilter,
+    TimestampVector,
+)
+from repro.errors import ConfigurationError
+from repro.timebase import count_window
+from repro.units import kb_to_bits
+
+
+class TestMemoryAccounting:
+    """Every baseline's accounted footprint respects its budget."""
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_tobf(self, memory_kb):
+        f = TimeOutBloomFilter.from_memory(f"{memory_kb}KB", count_window(64))
+        assert f.memory_bits() <= kb_to_bits(memory_kb)
+        assert f.memory_bits() > kb_to_bits(memory_kb) - 64
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_tbf(self, memory_kb):
+        f = TimingBloomFilter.from_memory(f"{memory_kb}KB", count_window(64))
+        assert f.memory_bits() <= kb_to_bits(memory_kb)
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_tsv(self, memory_kb):
+        f = TimestampVector.from_memory(f"{memory_kb}KB", count_window(64))
+        assert f.memory_bits() <= kb_to_bits(memory_kb)
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_cvs(self, memory_kb):
+        f = CounterVectorSketch.from_memory(f"{memory_kb}KB",
+                                            count_window(64))
+        assert f.memory_bits() <= kb_to_bits(memory_kb)
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_swamp(self, memory_kb):
+        f = Swamp.from_memory(f"{memory_kb}KB", window_items=512)
+        assert f.memory_bits() <= kb_to_bits(memory_kb)
+
+    @pytest.mark.parametrize("memory_kb", [1, 8, 64])
+    def test_ideal(self, memory_kb):
+        f = IdealSlidingBloom.from_memory(f"{memory_kb}KB", count_window(64))
+        assert f.memory_bits() == kb_to_bits(memory_kb)
+
+
+class TestBudgetOrdering:
+    def test_cell_counts_reflect_cell_widths(self):
+        """At equal budget: BF+clock cells >> TBF cells >> TOBF cells."""
+        from repro.core import ClockBloomFilter
+        window = count_window(64)
+        budget = "16KB"
+        bf = ClockBloomFilter.from_memory(budget, window, s=2)
+        tbf = TimingBloomFilter.from_memory(budget, window)
+        tobf = TimeOutBloomFilter.from_memory(budget, window)
+        assert bf.n > tbf.n > tobf.n
+        # The ratios track the cell widths (2 vs 18 vs 64 bits), up to
+        # the flooring of cells-per-budget.
+        assert bf.n / tbf.n == pytest.approx(9, rel=0.01)
+        assert bf.n / tobf.n == pytest.approx(32, rel=0.01)
+
+    def test_too_small_budgets_raise(self):
+        window = count_window(64)
+        with pytest.raises(ConfigurationError):
+            TimeOutBloomFilter.from_memory("1 bit", window)
+        with pytest.raises(ConfigurationError):
+            TimestampVector.from_memory("1 bit", window)

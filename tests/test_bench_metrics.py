@@ -1,0 +1,76 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import (
+    ThroughputResult,
+    average_relative_error,
+    error_rate,
+    false_positive_rate,
+    measure_throughput,
+    relative_error,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFalsePositiveRate:
+    def test_basic(self):
+        assert false_positive_rate([True, False, False, True]) == 0.5
+
+    def test_all_negative(self):
+        assert false_positive_rate(np.zeros(10, dtype=bool)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            false_positive_rate([])
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100, 110) == pytest.approx(0.1)
+        assert relative_error(100, 90) == pytest.approx(0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(0, 5)
+
+
+class TestAverageRelativeError:
+    def test_basic(self):
+        assert average_relative_error([10, 20], [11, 18]) == \
+            pytest.approx((0.1 + 0.1) / 2)
+
+    def test_zero_truths_excluded(self):
+        assert average_relative_error([10, 0], [20, 5]) == pytest.approx(1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_relative_error([0, 0], [1, 2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_relative_error([1, 2], [1])
+
+
+class TestErrorRate:
+    def test_basic(self):
+        assert error_rate([True, True, False, False]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            error_rate([])
+
+
+class TestThroughput:
+    def test_measure(self):
+        result = measure_throughput(lambda: sum(range(1000)), 1000)
+        assert result.operations == 1000
+        assert result.seconds > 0
+        assert result.mops > 0
+
+    def test_mops_math(self):
+        assert ThroughputResult(operations=2_000_000, seconds=2.0).mops == 1.0
+
+    def test_str(self):
+        assert "Mops" in str(ThroughputResult(operations=10, seconds=1.0))

@@ -1,0 +1,194 @@
+"""Tests for the cache policies, the clock-assisted cache, and the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheStats,
+    ClockAssistedCache,
+    ClockCache,
+    LFUCache,
+    LRUCache,
+    simulate,
+)
+from repro.errors import ConfigurationError
+from repro.streams import Stream
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        c = LFUCache(2)
+        c.access("a")
+        c.access("a")
+        c.access("b")
+        c.access("c")  # evicts b (freq 1), keeps a (freq 2)
+        assert c.access("a")
+        assert not c.access("b")
+
+    def test_frequency_pinning_pathology(self):
+        """LFU's weakness per §1.1: stale frequent items block new ones."""
+        c = LFUCache(2)
+        for _ in range(100):
+            c.access("pinned")
+        for i in range(10):
+            assert not c.access(f"new-{i}")  # one slot thrashes forever
+        assert c.access("pinned")
+
+    def test_tie_broken_by_age(self):
+        c = LFUCache(2)
+        c.access("old")
+        c.access("new")
+        c.access("z")  # evicts "old" (same freq, older)
+        assert c.access("new")
+
+    def test_capacity_never_exceeded(self):
+        c = LFUCache(3)
+        for i in range(50):
+            c.access(i % 7)
+            assert len(c) <= 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            LFUCache(0)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        c = LRUCache(2)
+        c.access("a")
+        c.access("b")
+        c.access("a")
+        c.access("c")  # evicts b
+        assert c.access("a")
+        assert not c.access("b")
+
+    def test_contents(self):
+        c = LRUCache(2)
+        c.access("a")
+        c.access("b")
+        assert c.contents() == {"a", "b"}
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru(self, accesses, capacity):
+        c = LRUCache(capacity)
+        history = []
+        for key in accesses:
+            expected_hit = key in _lru_reference(history, capacity)
+            assert c.access(key) == expected_hit
+            history.append(key)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(-1)
+
+
+def _lru_reference(history, capacity):
+    """Contents of an LRU cache after the given access history."""
+    cache = []
+    for key in history:
+        if key in cache:
+            cache.remove(key)
+        elif len(cache) >= capacity:
+            cache.pop(0)
+        cache.append(key)
+    return cache
+
+
+class TestClockCache:
+    def test_second_chance_hand_order(self):
+        c = ClockCache(2)
+        c.access("a")
+        c.access("b")
+        c.access("a")   # a's reference bit set again
+        c.access("c")   # hand clears a's and b's bits, wraps, evicts a
+        assert c.contents() == {"b", "c"}
+
+    def test_basic_hit_miss(self):
+        c = ClockCache(4)
+        assert not c.access("x")
+        assert c.access("x")
+
+    def test_capacity_never_exceeded(self):
+        c = ClockCache(3)
+        for i in range(60):
+            c.access(i % 9)
+            assert len(c) <= 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClockCache(0)
+
+
+class TestClockAssistedCache:
+    def test_basic_hit_miss(self):
+        c = ClockAssistedCache(4)
+        assert not c.access("a")
+        assert c.access("a")
+
+    def test_capacity_never_exceeded(self):
+        c = ClockAssistedCache(3, seed=1)
+        for i in range(80):
+            c.access(i % 10)
+            assert len(c) <= 3
+
+    def test_prefers_evicting_inactive_residents(self):
+        # Window = 2 * capacity = 8. Fill with keys, let one go stale,
+        # then miss: the stale resident should be the victim.
+        c = ClockAssistedCache(4, seed=3)
+        for key in ["stale", "b", "c", "d"]:
+            c.access(key)
+        for _ in range(3):  # keep b, c, d fresh; "stale" ages out
+            c.access("b")
+            c.access("c")
+            c.access("d")
+        c.access("new")
+        assert "stale" not in c.contents()
+        assert {"b", "c", "d", "new"} <= c.contents()
+
+    def test_scan_limit_bounds_probing(self):
+        c = ClockAssistedCache(100, scan_limit=5)
+        assert c.scan_limit == 5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClockAssistedCache(0)
+
+
+class TestSimulator:
+    def test_counts_hits(self):
+        stream = Stream(np.array([1, 1, 2, 1]))
+        stats = simulate(LRUCache(4), stream)
+        assert stats.accesses == 4
+        assert stats.hits == 2
+        assert stats.misses == 2
+        assert stats.hit_rate == 0.5
+
+    def test_warmup_excluded(self):
+        stream = Stream(np.array([1, 1, 1, 1]))
+        stats = simulate(LRUCache(4), stream, warmup=2)
+        assert stats.accesses == 2
+        assert stats.hits == 2
+
+    def test_empty_stats(self):
+        assert CacheStats(accesses=0, hits=0).hit_rate == 0.0
+
+    def test_str(self):
+        assert "hit rate" in str(CacheStats(accesses=10, hits=5))
+
+    def test_lfu_worse_on_batch_patterned_stream(self):
+        """The Figure 13 effect at miniature scale."""
+        rng = np.random.default_rng(0)
+        keys = []
+        # Phase keys: heavily used early, then never again; fresh keys
+        # batch later. LFU pins the early phase.
+        for phase in range(20):
+            for key in range(phase * 10, phase * 10 + 10):
+                keys.extend([key] * 12)
+        stream = Stream(np.asarray(keys, dtype=np.int64))
+        lfu = simulate(LFUCache(20), stream, warmup=200)
+        clock = simulate(ClockAssistedCache(20, seed=1), stream, warmup=200)
+        assert clock.hit_rate >= lfu.hit_rate

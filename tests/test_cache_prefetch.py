@@ -1,0 +1,151 @@
+"""Tests for periodicity detection, prefetching, and weighted LFU."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    BatchWeightedLFU,
+    LRUCache,
+    PeriodicityDetector,
+    PrefetchingCache,
+    simulate,
+)
+from repro.datasets import periodic_stream
+from repro.errors import ConfigurationError
+from repro.streams import Stream
+from repro.timebase import count_window
+
+
+def _feed_periodic(detector, key, period, batches, batch_size=3,
+                   filler_start=10_000):
+    """Feed `batches` batches of `key` spaced `period` apart (count time)."""
+    filler = filler_start
+    position = 0
+    for _ in range(batches):
+        for _ in range(batch_size):
+            detector.observe(key)
+            position += 1
+        while position % period:
+            detector.observe(filler)
+            filler += 1
+            position += 1
+
+
+class TestPeriodicityDetector:
+    def test_detects_stable_period(self):
+        detector = PeriodicityDetector(count_window(16), history=4)
+        _feed_periodic(detector, "drum", period=100, batches=5)
+        assert detector.period("drum") == pytest.approx(100, rel=0.05)
+        assert "drum" in detector.periodic_keys()
+
+    def test_aperiodic_key_rejected(self):
+        detector = PeriodicityDetector(count_window(8), history=4)
+        rng = np.random.default_rng(0)
+        position = 0
+        filler = 10_000
+        for gap in (40, 200, 90, 400):
+            detector.observe("jitter")
+            position += 1
+            for _ in range(gap):
+                detector.observe(filler)
+                filler += 1
+        assert detector.period("jitter") is None
+
+    def test_needs_three_starts(self):
+        detector = PeriodicityDetector(count_window(16))
+        _feed_periodic(detector, "young", period=100, batches=2)
+        assert detector.period("young") is None
+
+    def test_due_keys_window(self):
+        detector = PeriodicityDetector(count_window(16), history=4)
+        _feed_periodic(detector, "drum", period=100, batches=4)
+        # Last batch started at position 301 (1-based); the next is due
+        # around 401. Within a lookahead of a full period it must appear.
+        assert "drum" in detector.due_keys(lookahead=150)
+
+    def test_history_bound(self):
+        detector = PeriodicityDetector(count_window(4), max_tracked=2)
+        for key in ("a", "b", "c"):
+            detector.observe(key)
+            for i in range(10):
+                detector.observe(f"gap-{key}-{i}")
+        assert len(detector._starts) <= 2 + 10  # fillers tracked too
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicityDetector(count_window(8), history=2)
+        with pytest.raises(ConfigurationError):
+            PeriodicityDetector(count_window(8), tolerance=0)
+
+
+class TestPrefetchingCache:
+    def test_prefetch_improves_on_plain_lru(self):
+        # Many keys batching on a fixed period, cache far too small to
+        # retain them between periods: plain LRU misses every batch
+        # start, the prefetcher warms them.
+        stream = periodic_stream(n_items=40_000, n_keys=400, period=3000.0,
+                                 batch_size=5, seed=2)
+        window = count_window(64)
+        plain = simulate(LRUCache(64), stream, warmup=15_000)
+        prefetching = PrefetchingCache(64, window, lookahead=400.0,
+                                       check_interval=8, seed=1)
+        smart = simulate(prefetching, stream, warmup=15_000)
+        assert smart.hit_rate > plain.hit_rate
+        assert prefetching.prefetches > 0
+
+    def test_contents_and_len(self):
+        cache = PrefetchingCache(4, count_window(8))
+        cache.access("x")
+        assert "x" in cache.contents()
+        assert len(cache) == 1
+
+
+class TestBatchWeightedLFU:
+    def test_basic_hit_miss(self):
+        cache = BatchWeightedLFU(4, count_window(32))
+        assert not cache.access("a")
+        assert cache.access("a")
+
+    def test_capacity_never_exceeded(self):
+        cache = BatchWeightedLFU(3, count_window(32))
+        for i in range(60):
+            cache.access(i % 9)
+            assert len(cache) <= 3
+
+    def test_mid_batch_items_admitted_heavy(self):
+        """An item re-admitted mid-batch outweighs fresh singletons."""
+        window = count_window(64)
+        cache = BatchWeightedLFU(2, window, sketch_memory="8KB")
+        # Build up "bursty"'s batch size while it keeps getting evicted
+        # by alternating singletons.
+        for i in range(12):
+            cache.access("bursty")
+            cache.access(f"one-off-{i}")
+            cache.access(f"other-{i}")
+        # By now bursty's batch size is ~12: it should be resident and
+        # survive the next singleton.
+        cache.access("final-singleton")
+        assert "bursty" in cache.contents()
+
+    def test_beats_plain_lfu_on_large_batches(self):
+        """The paper's claim: large batches see fewer misses."""
+        from repro.cache import LFUCache
+        rng = np.random.default_rng(3)
+        keys = []
+        # Alternating phases: a large batch of one key interleaved with
+        # singleton noise that thrashes plain LFU's weight-1 admissions.
+        for phase in range(150):
+            hot = 100 + phase % 3
+            for j in range(30):
+                keys.append(hot)
+                keys.append(int(rng.integers(1000, 9000)))
+        stream = Stream(np.asarray(keys, dtype=np.int64))
+        window = count_window(256)
+        plain = simulate(LFUCache(8), stream, warmup=500)
+        weighted = simulate(BatchWeightedLFU(8, window, sketch_memory="16KB"),
+                            stream, warmup=500)
+        assert weighted.hit_rate >= plain.hit_rate
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchWeightedLFU(0, count_window(8))

@@ -1,0 +1,30 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_experiments(self):
+        args = build_parser().parse_args(["fig6", "--quick"])
+        assert args.experiment == "fig6"
+        assert args.quick
+
+    def test_accepts_all(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_seed_option(self):
+        assert build_parser().parse_args(["fig7", "--seed", "9"]).seed == 9
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "completed in" in out

@@ -1,0 +1,114 @@
+"""Edge-case tests for the clock array: wide cells, float schedules,
+tiny arrays, and exact pointer arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clockarray import ClockArray
+from repro.timebase import count_window, time_window
+
+
+class TestWideCells:
+    @pytest.mark.parametrize("s,dtype", [(8, np.uint8), (16, np.uint16),
+                                         (32, np.uint32), (64, np.uint64)])
+    def test_wide_clock_cells(self, s, dtype):
+        clock = ClockArray(n=8, s=s, window=count_window(1 << 20))
+        assert clock.values.dtype == dtype
+        clock.touch([3])
+        assert int(clock.values[3]) == (1 << s) - 1
+
+    def test_s64_decrements_without_overflow(self):
+        clock = ClockArray(n=4, s=64, window=count_window(1 << 30))
+        clock.touch([0])
+        before = int(clock.values[0])
+        clock.advance(1 << 24)  # many sweep steps
+        assert 0 < int(clock.values[0]) <= before
+
+    def test_s16_guarantee(self):
+        window = 1000
+        clock = ClockArray(n=64, s=16, window=count_window(window))
+        clock.advance(5)
+        clock.touch([10])
+        clock.advance(5 + window - 1)
+        assert clock.values[10] > 0
+
+
+class TestTinyArrays:
+    def test_single_cell_array(self):
+        clock = ClockArray(n=1, s=2, window=count_window(4))
+        clock.touch([0])
+        clock.advance(3)  # within window: must survive
+        assert clock.values[0] > 0
+        clock.advance(12)  # far past the error window
+        assert clock.values[0] == 0
+
+    def test_window_of_one(self):
+        clock = ClockArray(n=8, s=2, window=count_window(1))
+        clock.touch([0])
+        # T=1: the full array sweeps twice per item.
+        clock.advance(1)
+        assert clock.steps_done == 16
+
+
+class TestTimeBasedSchedules:
+    def test_fractional_advances_accumulate(self):
+        clock = ClockArray(n=10, s=2, window=time_window(5.0))
+        # 4 steps per time unit; quarter-unit advances must accumulate
+        # exactly one step each.
+        for i in range(1, 9):
+            clock.advance(i * 0.25)
+        assert clock.steps_done == 8
+
+    def test_float_guarantee_holds(self):
+        window = 7.3
+        clock = ClockArray(n=33, s=3, window=time_window(window))
+        clock.advance(2.1)
+        clock.touch([17])
+        clock.advance(2.1 + window * 0.999)
+        assert clock.values[17] > 0
+
+    @given(
+        window=st.floats(0.5, 100.0),
+        start=st.floats(0.0, 50.0),
+        fraction=st.floats(0.0, 0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float_no_false_expiry_property(self, window, start, fraction):
+        clock = ClockArray(n=16, s=2, window=time_window(window))
+        clock.advance(start)
+        clock.touch([5])
+        clock.advance(start + window * fraction)
+        assert clock.values[5] > 0
+
+
+class TestPointerArithmetic:
+    def test_pointer_wraps(self):
+        clock = ClockArray(n=4, s=2, window=count_window(4))
+        # 2 steps per item.
+        clock.advance(1)
+        assert clock.pointer == 2
+        clock.advance(2)
+        assert clock.pointer == 0
+        clock.advance(3)
+        assert clock.pointer == 2
+
+    def test_steps_monotone_under_any_advance_pattern(self):
+        clock = ClockArray(n=12, s=3, window=count_window(7))
+        previous = 0
+        t = 0
+        for dt in (1, 0, 3, 0, 0, 2, 10, 1):
+            t += dt
+            clock.advance(t)
+            assert clock.steps_done >= previous
+            assert clock.steps_done == clock.total_steps_at(t)
+            previous = clock.steps_done
+
+    def test_remainder_crossing_the_wrap_boundary(self):
+        # Force a partial sweep that wraps from the tail to the head.
+        clock = ClockArray(n=10, s=2, window=count_window(10))
+        clock.advance(4)  # 8 steps: pointer at 8
+        clock.touch([8, 9, 0, 1])
+        clock.advance(6)  # 4 more steps: sweeps cells 8, 9, 0, 1
+        assert list(clock.values[[8, 9, 0, 1]]) == [2, 2, 2, 2]

@@ -1,0 +1,137 @@
+"""Tests for the background cleaning thread and the thread-safe wrapper."""
+
+import threading
+import time
+
+import pytest
+
+from repro import ClockBitmap, ClockBloomFilter, time_window
+from repro.concurrent import BackgroundCleaner, ThreadSafeSketch
+from repro.errors import ConfigurationError
+from repro.timebase import count_window
+
+
+class FakeClock:
+    """A manually-advanced time source for deterministic tests."""
+
+    def __init__(self, start=1.0):
+        self.value = start
+
+    def __call__(self):
+        return self.value
+
+    def advance(self, dt):
+        self.value += dt
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestThreadSafeSketch:
+    def test_delegates_operations(self):
+        sketch = ClockBloomFilter(n=128, k=2, s=2, window=time_window(10.0))
+        shared = ThreadSafeSketch(sketch)
+        shared.insert("x", t=1.0)
+        assert shared.contains("x", t=2.0)
+        assert shared.memory_bits() == sketch.memory_bits()
+
+    def test_unlocked_mode(self):
+        sketch = ClockBitmap(n=64, s=4, window=time_window(10.0))
+        shared = ThreadSafeSketch(sketch, lock=None)
+        shared.insert("x", t=1.0)
+        assert shared.estimate(t=2.0).value > 0
+
+    def test_advance_clock_ignores_stale_ticks(self):
+        sketch = ClockBloomFilter(n=128, k=2, s=2, window=time_window(10.0))
+        shared = ThreadSafeSketch(sketch)
+        shared.insert("x", t=5.0)
+        shared.advance_clock(3.0)  # stale: must not raise
+        assert sketch.clock.now == 5.0
+
+    def test_concurrent_inserts_with_lock(self):
+        sketch = ClockBitmap(n=4096, s=8, window=time_window(1e6))
+        shared = ThreadSafeSketch(sketch)
+        clock = FakeClock()
+        lock = threading.Lock()
+
+        def writer(offset):
+            for i in range(200):
+                with lock:
+                    clock.advance(0.001)
+                    t = clock()
+                shared.insert(offset + i, t=t)
+
+        threads = [threading.Thread(target=writer, args=(w * 1000,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.estimate(t=clock() + 1).value == pytest.approx(
+            800, rel=0.15
+        )
+
+
+class TestBackgroundCleaner:
+    def test_requires_time_based_window(self):
+        sketch = ThreadSafeSketch(
+            ClockBloomFilter(n=64, k=2, s=2, window=count_window(8))
+        )
+        with pytest.raises(ConfigurationError, match="time-based"):
+            BackgroundCleaner(sketch)
+
+    def test_interval_validated(self):
+        sketch = ThreadSafeSketch(
+            ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        )
+        with pytest.raises(ConfigurationError):
+            BackgroundCleaner(sketch, interval=0)
+
+    def test_expiry_without_any_operations(self):
+        """The whole point of the thread: expiry with no queries."""
+        window = time_window(10.0)
+        sketch = ClockBloomFilter(n=128, k=2, s=2, window=window)
+        shared = ThreadSafeSketch(sketch)
+        clock = FakeClock()
+        cleaner = BackgroundCleaner(shared, interval=0.001,
+                                    time_source=clock)
+        with cleaner:
+            shared.insert("x", t=clock())
+            cells = sketch.deriver.indexes("x")
+            assert all(sketch.clock.values[i] > 0 for i in cells)
+            clock.advance(16.0)  # past T * (1 + 1/(2^s - 2)) = 15
+            cleared = _wait_until(
+                lambda: all(sketch.clock.values[i] == 0 for i in cells)
+            )
+            assert cleared
+        assert not cleaner.running
+
+    def test_in_window_items_survive_cleaning(self):
+        window = time_window(10.0)
+        sketch = ClockBloomFilter(n=128, k=2, s=2, window=window)
+        shared = ThreadSafeSketch(sketch)
+        clock = FakeClock()
+        with BackgroundCleaner(shared, interval=0.001,
+                               time_source=clock) as cleaner:
+            shared.insert("x", t=clock())
+            clock.advance(5.0)  # half a window
+            assert _wait_until(lambda: cleaner.ticks >= 3)
+            assert shared.contains("x", t=clock())
+
+    def test_start_is_idempotent_and_stop_joins(self):
+        sketch = ThreadSafeSketch(
+            ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        )
+        cleaner = BackgroundCleaner(sketch, interval=0.001)
+        cleaner.start()
+        cleaner.start()
+        assert cleaner.running
+        cleaner.stop()
+        assert not cleaner.running
+        cleaner.stop()  # idempotent

@@ -1,0 +1,126 @@
+"""Tests for the dataset synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BatchWorkload,
+    batch_stream,
+    caida_like,
+    criteo_like,
+    get_dataset,
+    network_like,
+    periodic_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.errors import DatasetError
+from repro.streams import segment_batches
+from repro.timebase import time_window
+
+
+class TestBatchWorkloadValidation:
+    def _workload(self, **overrides):
+        base = dict(n_items=1000, n_keys=50, window_hint=100.0)
+        base.update(overrides)
+        return BatchWorkload(**base)
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_items", 0),
+        ("n_keys", 0),
+        ("window_hint", 0),
+        ("mean_batch_size", 0.5),
+        ("within_gap_fraction", 0.0),
+        ("within_gap_fraction", 1.0),
+        ("between_gap_factor", 1.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(DatasetError):
+            self._workload(**{field: value}).validate()
+
+    def test_valid_workload_passes(self):
+        self._workload().validate()
+
+
+class TestBatchStream:
+    def test_produces_requested_length(self):
+        workload = BatchWorkload(n_items=5000, n_keys=100, window_hint=200.0)
+        stream = batch_stream(workload, seed=1)
+        assert len(stream) == 5000
+
+    def test_deterministic_per_seed(self):
+        workload = BatchWorkload(n_items=2000, n_keys=50, window_hint=100.0)
+        a = batch_stream(workload, seed=7)
+        b = batch_stream(workload, seed=7)
+        c = batch_stream(workload, seed=8)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.times, b.times)
+        assert not np.array_equal(a.keys, c.keys)
+
+    def test_times_valid_stream(self):
+        workload = BatchWorkload(n_items=3000, n_keys=60, window_hint=150.0)
+        stream = batch_stream(workload, seed=2)
+        assert stream.times[0] >= 1.0
+        assert np.all(np.diff(stream.times) >= 0)
+
+    def test_exhibits_batch_structure(self):
+        """Most batches should contain several items — the whole point."""
+        workload = BatchWorkload(n_items=8000, n_keys=80, window_hint=200.0,
+                                 mean_batch_size=10.0)
+        stream = batch_stream(workload, seed=3)
+        batches = segment_batches(stream, time_window(200.0))
+        sizes = np.array([b.size for b in batches])
+        assert sizes.mean() > 3.0  # far from IID singletons
+
+    def test_popularity_is_skewed(self):
+        workload = BatchWorkload(n_items=8000, n_keys=200, window_hint=200.0,
+                                 zipf_exponent=1.2)
+        stream = batch_stream(workload, seed=4)
+        counts = np.bincount(stream.keys)
+        counts = np.sort(counts[counts > 0])[::-1]
+        # Top decile of keys should hold a clear majority of items.
+        top = counts[: max(1, len(counts) // 10)].sum()
+        assert top > 0.3 * counts.sum()
+
+
+class TestNamedDatasets:
+    @pytest.mark.parametrize("factory", [caida_like, criteo_like, network_like])
+    def test_factories_produce_streams(self, factory):
+        stream = factory(n_items=20_000, window_hint=1024, seed=5)
+        assert len(stream) == 20_000
+        assert stream.has_times
+        assert stream.distinct_keys() > 50
+
+    def test_key_density_ordering(self):
+        """CAIDA has the most items per key, Network the fewest."""
+        kwargs = dict(n_items=30_000, window_hint=2048, seed=6)
+        caida = caida_like(**kwargs)
+        network = network_like(**kwargs)
+        assert caida.distinct_keys() < network.distinct_keys()
+
+    def test_registry_lookup(self):
+        stream = get_dataset("CAIDA", n_items=5000, window_hint=512, seed=0)
+        assert stream.name == "caida-like"
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_dataset("netflix", n_items=10, window_hint=4)
+
+
+class TestSimpleGenerators:
+    def test_uniform_stream(self):
+        stream = uniform_stream(1000, 100, seed=1)
+        assert len(stream) == 1000
+        assert stream.keys.max() < 100
+
+    def test_zipf_stream_is_skewed(self):
+        stream = zipf_stream(5000, 100, exponent=1.5, seed=1)
+        counts = np.bincount(stream.keys, minlength=100)
+        assert counts.max() > 5 * np.median(counts[counts > 0])
+
+    def test_periodic_stream_batches_on_period(self):
+        stream = periodic_stream(2000, n_keys=20, period=500.0,
+                                 batch_size=4, seed=1)
+        batches = segment_batches(stream, time_window(100.0))
+        full = [b for b in batches if b.size == 4]
+        assert len(full) > len(batches) * 0.5

@@ -1,0 +1,55 @@
+"""Edge-case tests for the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import BatchWorkload, batch_stream, get_dataset
+from repro.errors import DatasetError
+
+
+class TestTinyWorkloads:
+    def test_single_item(self):
+        workload = BatchWorkload(n_items=1, n_keys=1, window_hint=10.0)
+        stream = batch_stream(workload, seed=0)
+        assert len(stream) == 1
+        assert stream.times[0] == 1.0
+
+    def test_single_key(self):
+        workload = BatchWorkload(n_items=500, n_keys=1, window_hint=50.0)
+        stream = batch_stream(workload, seed=0)
+        assert stream.distinct_keys() == 1
+
+    def test_more_keys_than_items(self):
+        workload = BatchWorkload(n_items=10, n_keys=1000, window_hint=10.0)
+        stream = batch_stream(workload, seed=0)
+        assert len(stream) == 10
+
+    @given(
+        n_items=st.integers(1, 3000),
+        n_keys=st.integers(1, 200),
+        window=st.floats(1.0, 500.0),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_stream(self, n_items, n_keys, window, seed):
+        workload = BatchWorkload(n_items=n_items, n_keys=n_keys,
+                                 window_hint=window)
+        stream = batch_stream(workload, seed=seed)
+        assert len(stream) == n_items
+        assert stream.times[0] >= 1.0
+        assert np.all(np.diff(stream.times) >= 0)
+        assert stream.keys.min() >= 0
+        assert stream.keys.max() < n_keys
+
+
+class TestRegistryScaling:
+    @pytest.mark.parametrize("name", ["caida", "criteo", "network"])
+    def test_small_scales_work(self, name):
+        stream = get_dataset(name, n_items=200, window_hint=32, seed=0)
+        assert len(stream) == 200
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(DatasetError):
+            get_dataset("caida", n_items=0, window_hint=32)

@@ -1,0 +1,51 @@
+"""Integration: a saved synthetic trace round-trips into an experiment.
+
+Exercises the full user path for real traces: synthesize → save to the
+loader format → reload → run an accuracy measurement on it.
+"""
+
+import numpy as np
+
+from repro.bench.harness import activeness_fpr
+from repro.datasets import caida_like
+from repro.datasets.loader import load_trace, save_trace
+from repro.timebase import WindowKind, WindowSpec, count_window
+from repro.units import kb_to_bits
+
+
+class TestLoadedTraceThroughHarness:
+    def test_count_based_fpr_matches_original(self, tmp_path):
+        stream = caida_like(n_items=15_000, window_hint=1024, seed=9)
+        path = tmp_path / "trace.txt"
+        save_trace(stream, path)
+        loaded = load_trace(path)
+        window = count_window(1024)
+        bits = kb_to_bits(8)
+        original_fpr = activeness_fpr("bf_clock", stream, window, bits,
+                                      seed=2, extra_unseen=20_000)
+        loaded_fpr = activeness_fpr("bf_clock", loaded, window, bits,
+                                    seed=2, extra_unseen=20_000)
+        # Same keys, same order: identical count-based measurement.
+        assert loaded_fpr == original_fpr
+
+    def test_time_based_measurement_runs_on_loaded_trace(self, tmp_path):
+        stream = caida_like(n_items=15_000, window_hint=1024, seed=9)
+        path = tmp_path / "trace.txt"
+        save_trace(stream, path)
+        loaded = load_trace(path)
+        window = WindowSpec(length=1024.0, kind=WindowKind.TIME)
+        fpr = activeness_fpr("bf_clock", loaded, window, kb_to_bits(8),
+                             seed=2, extra_unseen=20_000)
+        assert 0.0 <= fpr <= 1.0
+
+    def test_loader_preserves_batch_structure(self, tmp_path):
+        from repro.streams import describe
+        stream = caida_like(n_items=10_000, window_hint=512, seed=9)
+        path = tmp_path / "trace.txt"
+        save_trace(stream, path)
+        loaded = load_trace(path)
+        window = count_window(512)
+        original = describe(stream, window)
+        reloaded = describe(loaded, window)
+        assert original.n_batches == reloaded.n_batches
+        assert original.size_mean == reloaded.size_mean

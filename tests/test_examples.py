@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run end-to-end and report success.
+
+Only the quick examples run here (the cache and APT examples take tens
+of seconds and are exercised by the same code paths in unit tests).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "cardinality" in out
+        assert "memory" in out
+
+    def test_distributed_merge(self):
+        out = _run("distributed_merge.py")
+        assert "no false negatives expected" in out
+
+    def test_batch_monitor(self):
+        out = _run("batch_monitor.py")
+        assert "predicted activeness FPR" in out
+        assert "active: False" in out  # the live cleaner expired the key
+
+    def test_burst_detection(self):
+        out = _run("burst_detection.py")
+        assert "recall" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "burst_detection.py", "cache_replacement.py",
+        "apt_detection.py", "ad_targeting.py", "distributed_merge.py",
+        "trace_analysis.py", "batch_monitor.py",
+    ])
+    def test_all_examples_exist(self, name):
+        assert (EXAMPLES / name).exists()

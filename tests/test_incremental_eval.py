@@ -1,0 +1,94 @@
+"""Direct tests for the incremental evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.incremental import (
+    DEFAULT_QUERY_SAMPLE,
+    active_last_batches,
+    replay,
+    size_are,
+    timespan_error_rate,
+)
+from repro.core import ClockCountMin, ClockTimeSpanSketch
+from repro.streams import Stream
+from repro.timebase import count_window, time_window
+
+
+def _batchy_stream(rng, n=3000, keys=60):
+    parts = []
+    while sum(len(p) for p in parts) < n:
+        key = int(rng.integers(0, keys))
+        parts.append([key] * int(rng.integers(2, 7)))
+    flat = [k for part in parts for k in part][:n]
+    return Stream(np.asarray(flat, dtype=np.int64))
+
+
+class TestReplay:
+    def test_count_based_returns_count_times(self, rng):
+        stream = _batchy_stream(rng, n=100)
+        window = count_window(16)
+        sketch = ClockCountMin(width=64, depth=2, s=4, window=window)
+        keys, times = replay(sketch, stream, window)
+        assert len(keys) == 100
+        assert times[0] == 1.0
+        assert times[-1] == 100.0
+        assert sketch.items_inserted == 100
+
+    def test_limit_truncates(self, rng):
+        stream = _batchy_stream(rng, n=100)
+        window = count_window(16)
+        sketch = ClockCountMin(width=64, depth=2, s=4, window=window)
+        keys, _times = replay(sketch, stream, window, limit=40)
+        assert len(keys) == 40
+        assert sketch.items_inserted == 40
+
+    def test_time_based_uses_stream_times(self):
+        keys = np.array([1, 2, 1])
+        times = np.array([1.0, 2.5, 4.0])
+        stream = Stream(keys, times)
+        window = time_window(8.0)
+        sketch = ClockCountMin(width=64, depth=2, s=4, window=window)
+        _keys, replay_times = replay(sketch, stream, window)
+        assert list(replay_times) == [1.0, 2.5, 4.0]
+
+
+class TestActiveLastBatches:
+    def test_filters_expired(self):
+        keys = np.array([1, 2, 1])
+        times = np.array([1.0, 2.0, 10.0])
+        window = count_window(5)
+        bkeys, starts, sizes = active_last_batches(keys, times, 11.0, window)
+        assert list(bkeys) == [1]
+        assert list(starts) == [10.0]
+        assert list(sizes) == [1]
+
+
+class TestErrorFunctions:
+    def test_zero_error_at_generous_memory(self, rng):
+        stream = _batchy_stream(rng)
+        window = count_window(256)
+        span_sketch = ClockTimeSpanSketch.from_memory("512KB", window, s=8)
+        size_sketch = ClockCountMin.from_memory("512KB", window, s=8)
+        assert timespan_error_rate(span_sketch, stream, window, seed=1) == 0.0
+        assert size_are(size_sketch, stream, window, seed=1) == 0.0
+
+    def test_sampling_cap_respected(self, rng):
+        # With sample=5, only 5 queries happen; results stay in [0, 1].
+        stream = _batchy_stream(rng)
+        window = count_window(256)
+        sketch = ClockTimeSpanSketch.from_memory("4KB", window, s=4)
+        rate = timespan_error_rate(sketch, stream, window, sample=5, seed=1)
+        assert 0.0 <= rate <= 1.0
+        assert rate * 5 == int(round(rate * 5))  # quantised to fifths
+
+    def test_default_sample_is_bounded(self):
+        assert DEFAULT_QUERY_SAMPLE <= 5000
+
+    def test_seeded_sampling_is_deterministic(self, rng):
+        stream = _batchy_stream(rng)
+        window = count_window(64)
+        a = ClockCountMin.from_memory("2KB", window, s=2, seed=9)
+        b = ClockCountMin.from_memory("2KB", window, s=2, seed=9)
+        assert size_are(a, stream, window, sample=50, seed=4) == \
+            size_are(b, stream, window, sample=50, seed=4)

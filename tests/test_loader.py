@@ -1,0 +1,91 @@
+"""Tests for the real-trace loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import caida_like
+from repro.datasets.loader import load_trace, save_trace
+from repro.errors import DatasetError
+
+
+class TestLoadTrace:
+    def test_count_based_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1\n2\n1\n")
+        stream = load_trace(path)
+        assert list(stream.keys) == [1, 2, 1]
+        assert not stream.has_times
+
+    def test_timed_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 10.0\n2 11.5\n")
+        stream = load_trace(path)
+        assert stream.has_times
+        assert stream.times[0] == 1.0  # shifted to start at 1
+        assert stream.times[1] == 2.5
+
+    def test_string_keys_hashed_stably(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("alice\nbob\nalice\n")
+        stream = load_trace(path)
+        assert stream.keys[0] == stream.keys[2]
+        assert stream.keys[0] != stream.keys[1]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n5\n")
+        assert list(load_trace(path).keys) == [5]
+
+    def test_skip_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("key,ts\n1,1.0\n2,2.0\n")
+        stream = load_trace(path, separator=",", skip_header=True)
+        assert len(stream) == 2
+
+    def test_max_items(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1\n2\n3\n4\n")
+        assert len(load_trace(path, max_items=2)) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError, match="no items"):
+            load_trace(path)
+
+    def test_missing_timestamp_column_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 1.0\n2\n")
+        with pytest.raises(DatasetError, match="lacks the timestamp"):
+            load_trace(path)
+
+    def test_bad_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 soon\n")
+        with pytest.raises(DatasetError, match="bad timestamp"):
+            load_trace(path)
+
+    def test_decreasing_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 5.0\n2 4.0\n")
+        with pytest.raises(DatasetError, match="non-decreasing"):
+            load_trace(path)
+
+
+class TestSaveTrace:
+    def test_roundtrip_timed(self, tmp_path):
+        original = caida_like(n_items=2000, window_hint=256, seed=3)
+        path = tmp_path / "out.txt"
+        save_trace(original, path)
+        restored = load_trace(path)
+        assert np.array_equal(original.keys, restored.keys)
+        assert np.allclose(original.times, restored.times)
+
+    def test_roundtrip_count_based(self, tmp_path):
+        from repro.streams import Stream
+        original = Stream(np.array([3, 1, 4, 1, 5]))
+        path = tmp_path / "out.txt"
+        save_trace(original, path)
+        restored = load_trace(path)
+        assert np.array_equal(original.keys, restored.keys)
+        assert not restored.has_times

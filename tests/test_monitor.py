@@ -1,0 +1,113 @@
+"""Tests for the ItemBatchMonitor facade."""
+
+import numpy as np
+import pytest
+
+from repro import BatchReport, ItemBatchMonitor, count_window, time_window
+from repro.datasets import caida_like
+from repro.errors import ConfigurationError
+from repro.streams import BatchTracker
+
+
+class TestConstruction:
+    def test_all_tasks_by_default(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="32KB")
+        assert monitor.tasks == ("activeness", "cardinality", "size", "span")
+        assert monitor.memory_bits() > 0
+
+    def test_subset_of_tasks(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="16KB",
+                                   tasks=("activeness",))
+        assert monitor.cardinality is None
+        assert monitor.size_sketch is None
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown tasks"):
+            ItemBatchMonitor(count_window(64), tasks=("magic",))
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ItemBatchMonitor(count_window(64), tasks=())
+
+    def test_budget_respected(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="64KB")
+        assert monitor.memory_bits() <= 64 * 8192
+
+    def test_custom_split(self):
+        fat_size = ItemBatchMonitor(
+            count_window(64), memory="64KB",
+            split={"size": 0.9, "activeness": 0.03, "cardinality": 0.03,
+                   "span": 0.04},
+        )
+        default = ItemBatchMonitor(count_window(64), memory="64KB")
+        assert fat_size.size_sketch.memory_bits() > \
+            default.size_sketch.memory_bits()
+
+    def test_repr(self):
+        assert "ItemBatchMonitor" in repr(ItemBatchMonitor(count_window(8)))
+
+
+class TestMeasurements:
+    def test_disabled_task_raises(self):
+        monitor = ItemBatchMonitor(count_window(64), tasks=("activeness",))
+        monitor.observe("x")
+        assert monitor.is_active("x")
+        with pytest.raises(ConfigurationError, match="not enabled"):
+            monitor.batch_size("x")
+        with pytest.raises(ConfigurationError, match="not enabled"):
+            monitor.active_batches()
+        with pytest.raises(ConfigurationError, match="not enabled"):
+            monitor.batch_span("x")
+
+    def test_report_combines_tasks(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="64KB", seed=2)
+        for _ in range(5):
+            monitor.observe("key")
+        report = monitor.report("key")
+        assert report == BatchReport(key="key", active=True, size=5,
+                                     span=4.0, begin=1.0)
+
+    def test_report_inactive_key(self):
+        monitor = ItemBatchMonitor(count_window(8), memory="64KB", seed=2)
+        monitor.observe("old")
+        for i in range(40):
+            monitor.observe(f"pad-{i}")
+        report = monitor.report("old")
+        assert not report.active
+        assert report.size is None
+        assert report.span is None
+
+    def test_time_based(self):
+        monitor = ItemBatchMonitor(time_window(10.0), memory="64KB")
+        monitor.observe("a", t=1.0)
+        monitor.observe("a", t=3.0)
+        report = monitor.report("a", t=4.0)
+        assert report.active
+        assert report.size == 2
+
+    def test_predicted_fpr_in_range(self):
+        monitor = ItemBatchMonitor(count_window(1024), memory="64KB")
+        assert 0 <= monitor.predicted_fpr() < 1
+
+    def test_predicted_fpr_none_without_activeness(self):
+        monitor = ItemBatchMonitor(count_window(64), tasks=("size",))
+        assert monitor.predicted_fpr() is None
+
+
+class TestAgainstGroundTruth:
+    def test_stream_level_agreement(self):
+        window = count_window(1024)
+        stream = caida_like(n_items=15_000, window_hint=1024, seed=8)
+        monitor = ItemBatchMonitor(window, memory="256KB", seed=3)
+        truth = BatchTracker(window)
+        monitor.observe_stream(stream)
+        truth.observe_stream(stream)
+
+        assert monitor.active_batches() == pytest.approx(
+            truth.active_cardinality(), rel=0.25
+        )
+        for key in truth.active_keys()[:50]:
+            report = monitor.report(key)
+            assert report.active
+            assert report.size >= truth.size(key)
+            assert report.span >= truth.span(key)

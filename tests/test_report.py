@@ -1,0 +1,67 @@
+"""Tests for Markdown report generation and the --report CLI flag."""
+
+from repro.bench.cli import main
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import to_markdown, write_report
+
+
+def _result():
+    result = ExperimentResult(title="Demo", columns=["x", "fpr"],
+                              notes=["a note"])
+    result.add(x=1, fpr=0.5)
+    result.add(x=2, fpr=None)
+    return result
+
+
+class TestToMarkdown:
+    def test_table_structure(self):
+        text = to_markdown(_result())
+        assert "## Demo" in text
+        assert "| x | fpr |" in text
+        assert "| 1 | 0.5 |" in text
+        assert "| 2 | - |" in text
+        assert "> a note" in text
+
+    def test_scientific_notation(self):
+        result = ExperimentResult(title="T", columns=["v"])
+        result.add(v=3e-6)
+        assert "3.000e-06" in to_markdown(result)
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report({"demo": _result()}, path, title="My run")
+        text = path.read_text()
+        assert text.startswith("# My run")
+        assert "<!-- experiment: demo -->" in text
+        assert "## Demo" in text
+
+
+class TestCliReportFlag:
+    def test_report_written(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        assert main(["fig7", "--quick", "--report", str(path)]) == 0
+        assert path.exists()
+        assert "Figure 7" in path.read_text()
+        assert "report written" in capsys.readouterr().out
+
+    def test_csv_dir_written(self, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        assert main(["fig7", "--quick", "--csv-dir", str(csv_dir)]) == 0
+        csv_path = csv_dir / "fig7.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "fpr" in header
+
+
+class TestToCsv:
+    def test_round_trips_through_csv_reader(self, tmp_path):
+        import csv
+        path = tmp_path / "rows.csv"
+        _result().to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["x"] == "1"
+        assert rows[0]["fpr"] == "0.5"
+        assert rows[1]["fpr"] == ""  # None renders empty

@@ -1,0 +1,111 @@
+"""Tests for sketch serialisation (file and bytes round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClockBitmap,
+    ClockBloomFilter,
+    ClockCountMin,
+    ClockTimeSpanSketch,
+    count_window,
+    time_window,
+)
+from repro.serialize import dump_sketch, dumps_sketch, load_sketch, loads_sketch
+
+
+def _filled(sketch, keys):
+    sketch.insert_many(np.asarray(keys))
+    return sketch
+
+
+@pytest.fixture
+def keys(rng):
+    return rng.integers(0, 40, size=150)
+
+
+class TestRoundTrips:
+    def test_bloom_filter_file(self, tmp_path, keys):
+        original = _filled(
+            ClockBloomFilter(n=256, k=3, s=2, window=count_window(32), seed=4),
+            keys,
+        )
+        path = tmp_path / "bf.npz"
+        dump_sketch(original, path)
+        restored = load_sketch(path)
+        queries = np.arange(60)
+        assert np.array_equal(original.contains_many(queries),
+                              restored.contains_many(queries))
+
+    def test_bitmap_bytes(self, keys):
+        original = _filled(
+            ClockBitmap(n=512, s=8, window=count_window(64), seed=4), keys
+        )
+        restored = loads_sketch(dumps_sketch(original))
+        assert restored.estimate().value == original.estimate().value
+
+    def test_count_min(self, tmp_path, keys):
+        original = _filled(
+            ClockCountMin(width=128, depth=3, s=4, window=count_window(64),
+                          seed=4),
+            keys,
+        )
+        path = tmp_path / "cm.npz"
+        dump_sketch(original, path)
+        restored = load_sketch(path)
+        queries = np.arange(40)
+        assert np.array_equal(original.query_many(queries),
+                              restored.query_many(queries))
+
+    def test_timespan(self, tmp_path, keys):
+        original = _filled(
+            ClockTimeSpanSketch(n=128, k=2, s=8, window=count_window(64),
+                                seed=4),
+            keys,
+        )
+        restored = loads_sketch(dumps_sketch(original))
+        for key in range(20):
+            assert original.query(key) == restored.query(key)
+
+    def test_time_based_window_preserved(self):
+        original = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        original.insert("x", t=1.0)
+        restored = loads_sketch(dumps_sketch(original))
+        assert not restored.window.is_count_based
+        assert restored.contains("x")
+
+    def test_restored_sketch_continues_identically(self, keys):
+        """Insert half, serialise, insert the rest into both: identical."""
+        window = count_window(32)
+        original = ClockBloomFilter(n=256, k=3, s=4, window=window, seed=7)
+        first, second = keys[:75], keys[75:]
+        original.insert_many(first)
+        restored = loads_sketch(dumps_sketch(original))
+        original.insert_many(second)
+        restored.insert_many(second)
+        assert np.array_equal(original.clock.values, restored.clock.values)
+        assert original.items_inserted == restored.items_inserted
+
+    def test_conservative_flag_preserved(self, keys):
+        original = _filled(
+            ClockCountMin(width=128, depth=2, s=4, window=count_window(64),
+                          seed=4, conservative=True),
+            keys,
+        )
+        restored = loads_sketch(dumps_sketch(original))
+        assert restored.conservative
+        # Continuing to insert must follow conservative semantics.
+        original.insert(999)
+        restored.insert(999)
+        assert np.array_equal(original.counters, restored.counters)
+
+    def test_sweep_mode_preserved(self):
+        original = ClockBitmap(n=64, s=4, window=count_window(16),
+                               sweep_mode="scalar")
+        restored = loads_sketch(dumps_sketch(original))
+        assert restored.clock.sweep_mode == "scalar"
+
+    def test_unsupported_object_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises((ConfigurationError, AttributeError)):
+            dumps_sketch(object())

@@ -1,0 +1,186 @@
+"""Tests for CM+clock (item batch size)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.size import ClockCountMin
+from repro.errors import ConfigurationError
+from repro.timebase import count_window, time_window
+
+
+class TestBasics:
+    def test_single_key_exact(self):
+        cm = ClockCountMin(width=256, depth=3, s=4, window=count_window(64))
+        for _ in range(7):
+            cm.insert("key")
+        assert cm.query("key") == 7
+
+    def test_unknown_key_is_zero_in_empty_sketch(self):
+        cm = ClockCountMin(width=64, depth=2, s=4, window=count_window(8))
+        assert cm.query("ghost") == 0
+
+    def test_batch_expiry_zeroes_count(self):
+        window = count_window(16)
+        cm = ClockCountMin(width=128, depth=3, s=8, window=window)
+        for _ in range(5):
+            cm.insert("job")
+        for _ in range(60):
+            cm.insert("filler")
+        assert cm.query("job") == 0
+        cm.insert("job")
+        assert cm.query("job") == 1  # fresh batch restarts from one
+
+    def test_counter_saturates_instead_of_wrapping(self):
+        cm = ClockCountMin(width=16, depth=1, s=8, window=count_window(1000),
+                           counter_bits=4)
+        for _ in range(100):
+            cm.insert("hot")
+        assert cm.query("hot") == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockCountMin(width=8, depth=0, s=4, window=count_window(8))
+        with pytest.raises(ConfigurationError):
+            ClockCountMin(width=8, depth=1, s=4, window=count_window(8),
+                          counter_bits=0)
+
+    def test_memory_accounting(self):
+        cm = ClockCountMin(width=100, depth=3, s=4, window=count_window(16),
+                           counter_bits=16)
+        assert cm.memory_bits() == 100 * 3 * 20
+
+    def test_from_memory(self):
+        cm = ClockCountMin.from_memory("1KB", count_window(64), depth=2,
+                                       s=4, counter_bits=16)
+        assert cm.width == 8192 // (2 * 20)
+
+    def test_from_memory_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ClockCountMin.from_memory("1 bit", count_window(8))
+
+    def test_time_based(self):
+        cm = ClockCountMin(width=128, depth=2, s=8, window=time_window(10.0))
+        cm.insert("a", t=1.0)
+        cm.insert("a", t=2.0)
+        assert cm.query("a", t=3.0) == 2
+
+    def test_repr(self):
+        assert "ClockCountMin" in repr(
+            ClockCountMin(width=8, depth=1, s=2, window=count_window(4))
+        )
+
+
+class TestConservativeUpdate:
+    def test_single_key_still_exact(self):
+        cm = ClockCountMin(width=256, depth=3, s=4, window=count_window(64),
+                           conservative=True)
+        for _ in range(7):
+            cm.insert("key")
+        assert cm.query("key") == 7
+
+    @given(
+        seed=st.integers(0, 100),
+        n_keys=st.integers(1, 15),
+        n_items=st.integers(5, 150),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_never_underestimates(self, seed, n_keys, n_items):
+        rng = np.random.default_rng(seed)
+        window = count_window(32)
+        cm = ClockCountMin(width=64, depth=2, s=8, window=window, seed=seed,
+                           conservative=True)
+        batch_size = {}
+        last_seen = {}
+        for i in range(1, n_items + 1):
+            key = int(rng.integers(0, n_keys))
+            if key not in last_seen or i - last_seen[key] >= 32:
+                batch_size[key] = 0
+            batch_size[key] += 1
+            last_seen[key] = i
+            cm.insert(key)
+        for key, size in batch_size.items():
+            if n_items - last_seen[key] >= 32:
+                continue
+            assert cm.query(key) >= size
+
+    def test_conservative_at_most_plain(self, rng):
+        """Conservative estimates are pointwise <= plain estimates."""
+        window = count_window(128)
+        keys = rng.integers(0, 60, size=800)
+        plain = ClockCountMin(width=64, depth=3, s=4, window=window, seed=2)
+        conservative = ClockCountMin(width=64, depth=3, s=4, window=window,
+                                     seed=2, conservative=True)
+        plain.insert_many(keys)
+        conservative.insert_many(keys)
+        queries = np.arange(60)
+        assert np.all(conservative.query_many(queries) <=
+                      plain.query_many(queries))
+
+    def test_insert_many_matches_loop(self, rng):
+        window = count_window(64)
+        keys = rng.integers(0, 30, size=300)
+        a = ClockCountMin(width=128, depth=3, s=4, window=window, seed=5,
+                          conservative=True)
+        b = ClockCountMin(width=128, depth=3, s=4, window=window, seed=5,
+                          conservative=True)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        assert np.array_equal(a.counters, b.counters)
+
+
+class TestOverestimateProperty:
+    @given(
+        seed=st.integers(0, 200),
+        n_keys=st.integers(1, 15),
+        n_items=st.integers(5, 150),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_underestimates_active_batches(self, seed, n_keys, n_items):
+        """Within the window guarantee, CM+clock only overestimates."""
+        rng = np.random.default_rng(seed)
+        window = count_window(32)
+        cm = ClockCountMin(width=64, depth=2, s=8, window=window, seed=seed)
+        batch_size = {}
+        last_seen = {}
+        for i in range(1, n_items + 1):
+            key = int(rng.integers(0, n_keys))
+            if key not in last_seen or i - last_seen[key] >= 32:
+                batch_size[key] = 0
+            batch_size[key] += 1
+            last_seen[key] = i
+            cm.insert(key)
+        now = n_items
+        for key, size in batch_size.items():
+            if now - last_seen[key] >= 32:
+                continue
+            assert cm.query(key) >= size
+
+
+class TestBulkPaths:
+    def test_insert_many_equals_loop(self, rng):
+        window = count_window(64)
+        keys = rng.integers(0, 30, size=300)
+        a = ClockCountMin(width=128, depth=3, s=4, window=window, seed=5)
+        b = ClockCountMin(width=128, depth=3, s=4, window=window, seed=5)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        assert np.array_equal(a.counters, b.counters)
+        assert np.array_equal(a.clock.values, b.clock.values)
+
+    def test_query_many_equals_loop(self, rng):
+        window = count_window(64)
+        keys = rng.integers(0, 30, size=200)
+        cm = ClockCountMin(width=128, depth=3, s=4, window=window, seed=5)
+        cm.insert_many(keys)
+        queries = np.arange(40)
+        bulk = cm.query_many(queries)
+        assert list(bulk) == [cm.query(int(q)) for q in queries]
+
+    def test_time_based_insert_many_requires_times(self):
+        cm = ClockCountMin(width=64, depth=2, s=4, window=time_window(8.0))
+        with pytest.raises(ConfigurationError):
+            cm.insert_many(np.arange(5))

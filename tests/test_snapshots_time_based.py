@@ -1,0 +1,83 @@
+"""Property tests: snapshot evaluators on time-based windows.
+
+The count-based equivalences are covered per-structure; these pin the
+float-schedule (time-based) paths, which the fig5e/6d/7d/8d experiments
+rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    TimeOutBloomFilter,
+    TimestampVector,
+    snapshot_timestamp_membership,
+    snapshot_tsv_estimate,
+)
+from repro.core.activeness import ClockBloomFilter, snapshot_membership
+from repro.core.cardinality import ClockBitmap, snapshot_cardinality
+from repro.timebase import time_window
+
+
+def _timed_workload(seed, n):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 50, size=n)
+    times = np.cumsum(rng.exponential(1.0, size=n)) + 1.0
+    return keys, times
+
+
+class TestTimeBasedSnapshots:
+    @given(seed=st.integers(0, 60), n=st.integers(1, 250),
+           window=st.floats(2.0, 80.0), s=st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_membership(self, seed, n, window, s):
+        keys, times = _timed_workload(seed, n)
+        w = time_window(window)
+        bf = ClockBloomFilter(n=128, k=2, s=s, window=w, seed=seed)
+        bf.insert_many(keys, times)
+        queries = np.arange(80)
+        snap = snapshot_membership(keys, times, queries,
+                                   t_query=float(times[-1]),
+                                   n=128, k=2, s=s, window=w, seed=seed)
+        assert np.array_equal(snap, bf.contains_many(queries))
+
+    @given(seed=st.integers(0, 60), n=st.integers(1, 250),
+           window=st.floats(2.0, 80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_cardinality(self, seed, n, window):
+        keys, times = _timed_workload(seed, n)
+        w = time_window(window)
+        bm = ClockBitmap(n=128, s=4, window=w, seed=seed)
+        bm.insert_many(keys, times)
+        snap = snapshot_cardinality(keys, times, t_query=float(times[-1]),
+                                    n=128, s=4, window=w, seed=seed)
+        assert snap.value == bm.estimate().value
+
+    @given(seed=st.integers(0, 60), n=st.integers(1, 250),
+           window=st.floats(2.0, 80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_timestamp_filter(self, seed, n, window):
+        keys, times = _timed_workload(seed, n)
+        w = time_window(window)
+        f = TimeOutBloomFilter(n=128, k=2, window=w, seed=seed)
+        f.insert_many(keys, times)
+        queries = np.arange(80)
+        snap = snapshot_timestamp_membership(
+            keys, times, queries, t_query=float(times[-1]),
+            n=128, k=2, window=w, seed=seed,
+        )
+        assert list(snap) == [f.contains(int(q)) for q in queries]
+
+    @given(seed=st.integers(0, 60), n=st.integers(1, 250),
+           window=st.floats(2.0, 80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_tsv(self, seed, n, window):
+        keys, times = _timed_workload(seed, n)
+        w = time_window(window)
+        tsv = TimestampVector(n=128, window=w, seed=seed)
+        tsv.insert_many(keys, times)
+        snap = snapshot_tsv_estimate(keys, times, t_query=float(times[-1]),
+                                     n=128, window=w, seed=seed)
+        assert snap.value == tsv.estimate().value

@@ -1,0 +1,69 @@
+"""Tests for stream/batch statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import caida_like, uniform_stream, zipf_stream
+from repro.streams import (
+    Stream,
+    activity_series,
+    describe,
+    popularity_skew,
+)
+from repro.timebase import count_window
+
+
+class TestDescribe:
+    def test_simple_stream(self):
+        # a a b a  with T=2: batches a(2), b(1), a(1)
+        stream = Stream(np.array([1, 1, 2, 1]))
+        stats = describe(stream, count_window(2))
+        assert stats.n_items == 4
+        assert stats.n_keys == 2
+        assert stats.n_batches == 3
+        assert stats.size_mean == pytest.approx(4 / 3)
+        assert stats.singleton_fraction == pytest.approx(2 / 3)
+
+    def test_render_contains_fields(self):
+        stream = Stream(np.array([1, 1, 2]))
+        text = describe(stream, count_window(4)).render()
+        assert "batch size" in text
+        assert "distinct keys" in text
+
+    def test_batchy_trace_vs_uniform(self):
+        window = count_window(256)
+        batchy = caida_like(n_items=20_000, window_hint=256, seed=1)
+        uniform = uniform_stream(20_000, 20_000 // 50, seed=1)
+        stats_batchy = describe(batchy, window)
+        stats_uniform = describe(uniform, window)
+        # The batch-structured trace has visibly larger batches.
+        assert stats_batchy.size_mean > stats_uniform.size_mean
+
+
+class TestPopularitySkew:
+    def test_uniform_stream_near_fraction(self):
+        stream = uniform_stream(50_000, 500, seed=2)
+        assert popularity_skew(stream, 0.1) == pytest.approx(0.1, abs=0.05)
+
+    def test_zipf_stream_is_skewed(self):
+        stream = zipf_stream(50_000, 500, exponent=1.3, seed=2)
+        assert popularity_skew(stream, 0.1) > 0.5
+
+    def test_more_top_keys_more_share(self):
+        stream = zipf_stream(20_000, 300, exponent=1.1, seed=2)
+        assert popularity_skew(stream, 0.5) > popularity_skew(stream, 0.1)
+
+
+class TestActivitySeries:
+    def test_shape_and_positivity(self):
+        stream = caida_like(n_items=20_000, window_hint=1024, seed=3)
+        times, counts = activity_series(stream, count_window(1024), points=8)
+        assert len(times) == 8
+        assert len(counts) == 8
+        assert counts.min() > 0
+
+    def test_steady_state_is_roughly_flat(self):
+        stream = caida_like(n_items=30_000, window_hint=512, seed=3)
+        _times, counts = activity_series(stream, count_window(512), points=10)
+        tail = counts[2:]  # skip ramp-up
+        assert tail.max() < 4 * max(tail.min(), 1)

@@ -1,0 +1,211 @@
+"""Tests for the stream model, ground truth, and batch segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TimeError
+from repro.streams import (
+    Batch,
+    BatchTracker,
+    Stream,
+    last_occurrences,
+    segment_batches,
+    split_active_inactive,
+)
+from repro.timebase import count_window, time_window
+
+
+class TestStream:
+    def test_basic_construction(self):
+        stream = Stream(np.array([1, 2, 1]))
+        assert len(stream) == 3
+        assert not stream.has_times
+        assert stream.distinct_keys() == 2
+
+    def test_count_times(self):
+        stream = Stream(np.array([5, 6]))
+        assert list(stream.count_times()) == [1, 2]
+
+    def test_times_must_align(self):
+        with pytest.raises(ConfigurationError):
+            Stream(np.array([1, 2]), np.array([1.0]))
+
+    def test_times_must_be_monotone(self):
+        with pytest.raises(ConfigurationError):
+            Stream(np.array([1, 2]), np.array([2.0, 1.0]))
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Stream(np.array([1]), np.array([0.0]))
+
+    def test_effective_times(self):
+        stream = Stream(np.array([1, 2]), np.array([1.5, 3.5]))
+        assert list(stream.effective_times(count_based=True)) == [1, 2]
+        assert list(stream.effective_times(count_based=False)) == [1.5, 3.5]
+
+    def test_effective_times_without_timestamps_raises(self):
+        with pytest.raises(ConfigurationError):
+            Stream(np.array([1])).effective_times(count_based=False)
+
+    def test_prefix(self):
+        stream = Stream(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        assert len(stream.prefix(2)) == 2
+        assert stream.prefix(2).times[-1] == 2.0
+
+    def test_events_iteration(self):
+        stream = Stream(np.array([7, 8]), np.array([1.0, 2.0]))
+        assert list(stream.events()) == [(7, 1.0), (8, 2.0)]
+        untimed = Stream(np.array([7]))
+        assert list(untimed.events()) == [(7, None)]
+
+
+class TestBatchTracker:
+    def test_counting_batches(self):
+        gt = BatchTracker(count_window(3))
+        for key in ["a", "a", "b", "a"]:
+            gt.observe(key)
+        assert gt.is_active("a")
+        assert gt.size("a") == 3
+        assert gt.span("a") == 3.0  # items at counts 1, 2, 4
+
+    def test_gap_splits_batches(self):
+        gt = BatchTracker(count_window(2))
+        gt.observe("a")           # t=1
+        gt.observe("x")           # t=2
+        gt.observe("x")           # t=3: a's gap reaches 2 => next a is new
+        gt.observe("a")           # t=4
+        assert gt.size("a") == 1
+        assert gt.state("a").batches_seen == 2
+
+    def test_activeness_boundary_is_strict(self):
+        gt = BatchTracker(count_window(2))
+        gt.observe("a")   # t=1
+        gt.observe("b")   # t=2: a age 1 < 2 -> active
+        assert gt.is_active("a")
+        gt.observe("b")   # t=3: a age 2 -> inactive
+        assert not gt.is_active("a")
+
+    def test_cardinality_and_key_lists(self):
+        gt = BatchTracker(count_window(10))
+        for key in ["a", "b", "c"]:
+            gt.observe(key)
+        assert gt.active_cardinality() == 3
+        assert set(gt.active_keys()) == {"a", "b", "c"}
+        assert gt.inactive_seen_keys() == []
+        assert gt.keys_seen() == 3
+
+    def test_time_based(self):
+        gt = BatchTracker(time_window(5.0))
+        gt.observe("a", t=1.0)
+        gt.observe("a", t=3.0)
+        assert gt.span("a", now=4.0) == 3.0
+        assert gt.size("a") == 2
+        assert not gt.is_active("a", now=9.0)
+
+    def test_mode_mismatch_raises(self):
+        with pytest.raises(TimeError):
+            BatchTracker(count_window(4)).observe("a", t=1.0)
+        with pytest.raises(TimeError):
+            BatchTracker(time_window(4.0)).observe("a")
+
+    def test_inactive_queries_return_none(self):
+        gt = BatchTracker(count_window(2))
+        gt.observe("a")
+        gt.observe("b")
+        gt.observe("b")
+        assert gt.span("a") is None
+        assert gt.size("a") is None
+
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(1, 4)),
+                    min_size=1, max_size=80),
+           st.integers(2, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bruteforce_reference(self, moves, window):
+        """The tracker agrees with a from-scratch reference on history."""
+        times = []
+        keys = []
+        t = 0
+        for key, dt in moves:
+            t += dt
+            keys.append(key)
+            times.append(t)
+        gt = BatchTracker(time_window(float(window)))
+        for key, tt in zip(keys, times):
+            gt.observe(key, t=float(tt))
+        now = float(times[-1])
+        for key in set(keys):
+            occurrences = [tt for k, tt in zip(keys, times) if k == key]
+            # Reference: the last batch starts after the last gap >= T.
+            start = occurrences[0]
+            for i in range(len(occurrences) - 1, 0, -1):
+                if occurrences[i] - occurrences[i - 1] >= window:
+                    start = occurrences[i]
+                    break
+            else:
+                start = occurrences[0]
+            active = now - occurrences[-1] < window
+            assert gt.is_active(key) == active
+            if active:
+                assert gt.span(key) == now - start
+
+
+class TestVectorisedHelpers:
+    def test_last_occurrences(self):
+        keys = np.array([1, 2, 1, 3])
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        unique, last = last_occurrences(keys, times)
+        assert list(unique) == [1, 2, 3]
+        assert list(last) == [3.0, 2.0, 4.0]
+
+    def test_split_active_inactive_matches_tracker(self, batchy_keys):
+        window = count_window(50)
+        gt = BatchTracker(window)
+        for key in batchy_keys:
+            gt.observe(int(key))
+        times = np.arange(1, len(batchy_keys) + 1, dtype=np.float64)
+        active, inactive = split_active_inactive(
+            batchy_keys, times, float(len(batchy_keys)), window
+        )
+        assert set(active.tolist()) == set(gt.active_keys())
+        assert set(inactive.tolist()) == set(gt.inactive_seen_keys())
+
+
+class TestSegmentBatches:
+    def test_segments_simple_stream(self):
+        stream = Stream(np.array([1, 1, 2, 1]))
+        batches = segment_batches(stream, count_window(2))
+        by_key = {}
+        for batch in batches:
+            by_key.setdefault(batch.key, []).append(batch)
+        assert len(by_key[1]) == 2  # gap of 2 between counts 2 and 4
+        assert by_key[2][0].size == 1
+
+    def test_batch_fields(self):
+        batch = Batch(key=1, start=2.0, end=6.0, size=5)
+        assert batch.span == 4.0
+        assert batch.density == 5 / 4.0
+
+    def test_density_floors_span(self):
+        assert Batch(key=1, start=2.0, end=2.0, size=1).density == 1.0
+
+    def test_agrees_with_tracker_on_last_batches(self, batchy_keys):
+        window = count_window(40)
+        stream = Stream(batchy_keys)
+        batches = segment_batches(stream, window)
+        gt = BatchTracker(window)
+        for key in batchy_keys:
+            gt.observe(int(key))
+        last_by_key = {}
+        for batch in batches:
+            last_by_key[batch.key] = batch
+        for key, batch in last_by_key.items():
+            state = gt.state(key)
+            assert state.start == batch.start
+            assert state.size == batch.size
+
+    def test_time_based_segmentation(self):
+        stream = Stream(np.array([1, 1, 1]), np.array([1.0, 2.0, 10.0]))
+        batches = segment_batches(stream, time_window(5.0))
+        assert [b.size for b in batches] == [2, 1]

@@ -1,0 +1,171 @@
+"""Randomised differential testing: every structure vs exact truth.
+
+Hypothesis generates arbitrary small workloads (bursty, adversarial
+orderings, repeated keys, long silences) and every structure is held to
+its contract against the exact :class:`~repro.streams.BatchTracker`:
+
+- activeness structures never false-negative on active batches;
+- size/span structures never underestimate;
+- estimators stay within loose but meaningful envelopes;
+- the exact sweep modes agree with each other on final state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BatchTracker,
+    ClockBitmap,
+    ClockBloomFilter,
+    ClockCountMin,
+    ClockTimeSpanSketch,
+    count_window,
+)
+from repro.baselines import (
+    IdealSlidingBloom,
+    NaiveSizeSketch,
+    NaiveTimeSpanSketch,
+    Swamp,
+    TimeOutBloomFilter,
+    TimingBloomFilter,
+)
+
+# Workload: runs of repeated keys with variable run lengths — the batch
+# structure every contract is about.
+workloads = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(1, 6)),
+    min_size=1, max_size=60,
+).map(lambda runs: [key for key, length in runs for _ in range(length)])
+
+
+def _truth(keys, window):
+    tracker = BatchTracker(window)
+    for key in keys:
+        tracker.observe(key)
+    return tracker
+
+
+class TestActivenessContracts:
+    @given(keys=workloads, window=st.integers(4, 64), seed=st.integers(0, 20))
+    @settings(max_examples=120, deadline=None)
+    def test_bf_clock_no_false_negatives(self, keys, window, seed):
+        w = count_window(window)
+        sketch = ClockBloomFilter(n=128, k=2, s=3, window=w, seed=seed)
+        for key in keys:
+            sketch.insert(key)
+        truth = _truth(keys, w)
+        for key in truth.active_keys():
+            assert sketch.contains(key)
+
+    @given(keys=workloads, window=st.integers(4, 64), seed=st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_timestamp_filters_no_false_negatives(self, keys, window, seed):
+        w = count_window(window)
+        truth = _truth(keys, w)
+        for cls in (TimeOutBloomFilter, TimingBloomFilter):
+            sketch = cls(n=256, k=2, window=w, seed=seed)
+            for key in keys:
+                sketch.insert(key)
+            for key in truth.active_keys():
+                assert sketch.contains(key)
+
+    @given(keys=workloads, window=st.integers(4, 32), seed=st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_ideal_is_exact_with_enough_bits(self, keys, window, seed):
+        w = count_window(window)
+        sketch = IdealSlidingBloom(n=4096, k=4, window=w, seed=seed)
+        for key in keys:
+            sketch.insert(key)
+        truth = _truth(keys, w)
+        for key in set(keys):
+            # With 4096 bits for <= 26 keys, FPs are essentially gone:
+            # the ideal filter answers exactly.
+            assert sketch.contains(key) == truth.is_active(key)
+
+    @given(keys=workloads, window=st.integers(4, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_swamp_exact_with_wide_fingerprints(self, keys, window):
+        w = count_window(window)
+        swamp = Swamp(window_items=window, fingerprint_bits=64)
+        for key in keys:
+            swamp.insert(key)
+        # SWAMP's window is "last w items" (ages 0..w-1 < w) — exactly
+        # the library's strict activeness convention.
+        truth = _truth(keys, w)
+        for key in set(keys):
+            assert swamp.ismember(key) == truth.is_active(key)
+
+
+class TestSizeAndSpanContracts:
+    @given(keys=workloads, window=st.integers(4, 64), seed=st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_cm_clock_never_underestimates(self, keys, window, seed):
+        w = count_window(window)
+        sketch = ClockCountMin(width=64, depth=2, s=4, window=w, seed=seed)
+        for key in keys:
+            sketch.insert(key)
+        truth = _truth(keys, w)
+        for key in truth.active_keys():
+            assert sketch.query(key) >= truth.size(key)
+
+    @given(keys=workloads, window=st.integers(4, 64), seed=st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_naive_size_never_underestimates(self, keys, window, seed):
+        w = count_window(window)
+        sketch = NaiveSizeSketch(width=64, depth=2, window=w, seed=seed)
+        for key in keys:
+            sketch.insert(key)
+        truth = _truth(keys, w)
+        for key in truth.active_keys():
+            assert sketch.query(key) >= truth.size(key)
+
+    @given(keys=workloads, window=st.integers(4, 64), seed=st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_span_sketches_never_underestimate(self, keys, window, seed):
+        w = count_window(window)
+        clocked = ClockTimeSpanSketch(n=128, k=2, s=6, window=w, seed=seed)
+        naive = NaiveTimeSpanSketch(n=128, k=2, window=w, seed=seed)
+        for key in keys:
+            clocked.insert(key)
+            naive.insert(key)
+        truth = _truth(keys, w)
+        for key in truth.active_keys():
+            true_span = truth.span(key)
+            clocked_result = clocked.query(key)
+            assert clocked_result.active
+            assert clocked_result.span >= true_span
+            naive_result = naive.query(key)
+            if naive_result.active:
+                assert naive_result.span >= true_span
+
+
+class TestEstimatorEnvelopes:
+    @given(keys=workloads, window=st.integers(8, 64), seed=st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_bitmap_envelope(self, keys, window, seed):
+        w = count_window(window)
+        sketch = ClockBitmap(n=4096, s=6, window=w, seed=seed)
+        for key in keys:
+            sketch.insert(key)
+        truth = _truth(keys, w).active_cardinality()
+        estimate = sketch.estimate().value
+        # At this load the bitmap is nearly exact; the error window can
+        # only add, collisions can only merge a couple of cells.
+        assert truth - 2 <= estimate <= truth + len(set(keys))
+
+
+class TestSweepModeAgreement:
+    @given(keys=workloads, window=st.integers(4, 64),
+           s=st.integers(2, 6), seed=st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_vector_equals_scalar_end_state(self, keys, window, s, seed):
+        w = count_window(window)
+        vec = ClockBloomFilter(n=64, k=2, s=s, window=w, seed=seed)
+        sca = ClockBloomFilter(n=64, k=2, s=s, window=w, seed=seed,
+                               sweep_mode="scalar")
+        for key in keys:
+            vec.insert(key)
+            sca.insert(key)
+        assert np.array_equal(vec.clock.values, sca.clock.values)

@@ -1,0 +1,62 @@
+"""Tests for the shared temporal conventions of all sketches."""
+
+import pytest
+
+from repro import ClockBloomFilter, ClockCountMin, count_window, time_window
+from repro.errors import TimeError
+
+
+class TestCountBasedTime:
+    def test_item_counter_is_the_clock(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=count_window(8))
+        bf.insert("a")
+        bf.insert("b")
+        assert bf.now == 2.0
+        assert bf.items_inserted == 2
+
+    def test_future_query_fast_forwards_the_counter(self):
+        """Querying 'as of item 100' means the stream idled until then;
+        the next insert is item 101, not item 3."""
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=count_window(8))
+        bf.insert("a")
+        bf.insert("b")
+        assert not bf.contains("a", t=100)
+        bf.insert("c")  # must not raise; continues from the queried time
+        assert bf.items_inserted == 101
+        assert bf.contains("c")
+
+    def test_fractional_count_query_rejected(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=count_window(8))
+        bf.insert("a")
+        with pytest.raises(TimeError, match="integer"):
+            bf.contains("a", t=1.5)
+
+    def test_past_query_rejected(self):
+        cm = ClockCountMin(width=32, depth=2, s=4, window=count_window(8))
+        for _ in range(5):
+            cm.insert("x")
+        with pytest.raises(TimeError, match="backwards"):
+            cm.query("x", t=3)
+
+
+class TestTimeBasedTime:
+    def test_query_defaults_to_latest(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        bf.insert("a", t=3.5)
+        assert bf.now == 3.5
+        assert bf.contains("a")
+        assert bf.now == 3.5
+
+    def test_future_query_advances_now(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        bf.insert("a", t=1.0)
+        bf.contains("a", t=5.0)
+        assert bf.now == 5.0
+        with pytest.raises(TimeError):
+            bf.insert("b", t=4.0)
+
+    def test_same_timestamp_inserts_allowed(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        bf.insert("a", t=2.0)
+        bf.insert("b", t=2.0)  # ties are fine; time is non-decreasing
+        assert bf.items_inserted == 2

@@ -1,0 +1,44 @@
+"""Tests for the window abstraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timebase import WindowKind, WindowSpec, count_window, time_window
+
+
+class TestWindowSpec:
+    def test_count_window_shorthand(self):
+        window = count_window(128)
+        assert window.length == 128
+        assert window.kind is WindowKind.COUNT
+        assert window.is_count_based
+
+    def test_time_window_shorthand(self):
+        window = time_window(2.5)
+        assert window.kind is WindowKind.TIME
+        assert not window.is_count_based
+
+    @pytest.mark.parametrize("length", [0, -1, -0.5])
+    def test_nonpositive_length_rejected(self, length):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(length=length)
+
+    def test_count_based_must_be_integer(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(length=2.5, kind=WindowKind.COUNT)
+        WindowSpec(length=2.5, kind=WindowKind.TIME)  # fine
+
+    def test_contains_is_half_open(self):
+        window = count_window(10)
+        assert window.contains(event_time=5, now=14)       # age 9 < 10
+        assert not window.contains(event_time=5, now=15)   # age 10 expired
+        assert window.contains(event_time=5, now=5)        # age 0
+
+    def test_str_mentions_units(self):
+        assert "items" in str(count_window(4))
+        assert "time units" in str(time_window(4))
+
+    def test_frozen(self):
+        window = count_window(4)
+        with pytest.raises(AttributeError):
+            window.length = 8

@@ -1,0 +1,135 @@
+"""Tests for BF-ts+clock (item batch time span)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timespan import ClockTimeSpanSketch, TimeSpanResult
+from repro.errors import TimeError
+from repro.timebase import count_window, time_window
+
+
+class TestBasics:
+    def test_single_batch_exact_span(self):
+        ts = ClockTimeSpanSketch(n=512, k=2, s=8, window=count_window(64))
+        for _ in range(10):
+            ts.insert("job")
+        result = ts.query("job")
+        assert result.active
+        assert result.span == 9.0
+        assert result.begin == 1.0
+
+    def test_inactive_before_any_insert(self):
+        ts = ClockTimeSpanSketch(n=64, k=2, s=4, window=count_window(8))
+        assert ts.query("ghost") == TimeSpanResult(active=False)
+
+    def test_span_grows_with_time(self):
+        ts = ClockTimeSpanSketch(n=512, k=2, s=8, window=count_window(64))
+        spans = []
+        for _ in range(5):
+            ts.insert("job")
+            spans.append(ts.query("job").span)
+        assert spans == sorted(spans)
+
+    def test_batch_expiry_resets_start(self):
+        window = count_window(16)
+        ts = ClockTimeSpanSketch(n=256, k=2, s=8, window=window)
+        ts.insert("job")
+        for _ in range(60):
+            ts.insert("filler")  # well past the error window
+        assert not ts.query("job").active
+        ts.insert("job")  # a new batch begins
+        result = ts.query("job")
+        assert result.active
+        assert result.span == 0.0
+
+    def test_time_based_span(self):
+        ts = ClockTimeSpanSketch(n=256, k=2, s=8, window=time_window(10.0))
+        ts.insert("job", t=2.0)
+        ts.insert("job", t=5.0)
+        result = ts.query("job", t=7.0)
+        assert result.active
+        assert result.span == 5.0
+
+    def test_positive_times_required(self):
+        ts = ClockTimeSpanSketch(n=64, k=2, s=4, window=time_window(8.0))
+        with pytest.raises(TimeError):
+            ts.insert("x", t=0.0)
+
+    def test_memory_accounting(self):
+        ts = ClockTimeSpanSketch(n=100, k=2, s=8, window=count_window(16))
+        assert ts.memory_bits() == 100 * 72
+
+    def test_from_memory(self):
+        ts = ClockTimeSpanSketch.from_memory("9KB", count_window(64), s=8)
+        assert ts.n == 9 * 8192 // 72
+
+    def test_repr(self):
+        text = repr(ClockTimeSpanSketch(n=8, k=1, s=2,
+                                        window=count_window(4)))
+        assert "ClockTimeSpanSketch" in text
+
+
+class TestOverestimateProperty:
+    @given(
+        seed=st.integers(0, 200),
+        n_keys=st.integers(1, 20),
+        n_items=st.integers(5, 150),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_span_never_underestimates(self, seed, n_keys, n_items):
+        """Collisions can only push the reported begin earlier."""
+        rng = np.random.default_rng(seed)
+        window = count_window(32)
+        ts = ClockTimeSpanSketch(n=64, k=2, s=8, window=window, seed=seed)
+        last_batch_start = {}
+        last_seen = {}
+        for i in range(1, n_items + 1):
+            key = int(rng.integers(0, n_keys))
+            if key not in last_seen or i - last_seen[key] >= 32:
+                last_batch_start[key] = i
+            last_seen[key] = i
+            ts.insert(key)
+        now = n_items
+        for key, start in last_batch_start.items():
+            if now - last_seen[key] >= 32:
+                continue  # batch inactive
+            result = ts.query(key)
+            if result.active:
+                true_span = now - start
+                assert result.span >= true_span
+
+    def test_expired_cells_clear_timestamps(self):
+        window = count_window(8)
+        ts = ClockTimeSpanSketch(n=64, k=2, s=4, window=window)
+        ts.insert("once")
+        idxs = ts.deriver.indexes("once")
+        assert all(ts.timestamps[i] > 0 for i in idxs)
+        for _ in range(40):
+            ts.insert("noise")
+        # After expiry the timestamp sketch cells must read empty unless
+        # "noise" recolonised them.
+        noise_cells = set(ts.deriver.indexes("noise"))
+        for i in idxs:
+            if i not in noise_cells:
+                assert ts.timestamps[i] == 0.0
+
+
+class TestBulkPath:
+    def test_insert_many_equals_loop(self, rng):
+        window = count_window(64)
+        keys = rng.integers(0, 30, size=300)
+        a = ClockTimeSpanSketch(n=256, k=2, s=8, window=window, seed=5)
+        b = ClockTimeSpanSketch(n=256, k=2, s=8, window=window, seed=5)
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(int(key))
+        assert np.array_equal(a.clock.values, b.clock.values)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_time_based_insert_many(self):
+        window = time_window(20.0)
+        ts = ClockTimeSpanSketch(n=256, k=2, s=8, window=window)
+        ts.insert_many(np.array([7, 7, 7]), times=np.array([1.0, 3.0, 5.0]))
+        assert ts.query(7).span == 4.0

@@ -1,0 +1,94 @@
+"""Tests for the SpaceSaving top-k summary."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.streams import SpaceSaving
+
+
+class TestBasics:
+    def test_tracks_within_capacity_exactly(self):
+        top = SpaceSaving(capacity=4)
+        for key in ["a", "a", "b", "c", "a", "b"]:
+            top.offer(key)
+        assert top.count("a") == 3
+        assert top.count("b") == 2
+        assert top.top(1)[0] .key == "a"
+        assert top.top(1)[0].error == 0
+
+    def test_eviction_inherits_floor(self):
+        top = SpaceSaving(capacity=1)
+        top.offer("a")
+        top.offer("b")  # evicts a; count 2, error 1
+        entry = top.top(1)[0]
+        assert entry.key == "b"
+        assert entry.count == 2
+        assert entry.error == 1
+        assert entry.guaranteed == 1
+
+    def test_weight(self):
+        top = SpaceSaving(capacity=2)
+        top.offer("a", weight=5)
+        assert top.count("a") == 5
+        with pytest.raises(ConfigurationError):
+            top.offer("a", weight=0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(0)
+
+    def test_len_and_offered(self):
+        top = SpaceSaving(capacity=3)
+        for key in range(10):
+            top.offer(key)
+        assert len(top) == 3
+        assert top.offered == 10
+
+
+class TestGuarantees:
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=300),
+           st.integers(2, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_overestimate_and_error_bound(self, keys, capacity):
+        """count >= truth >= count - error for every resident."""
+        top = SpaceSaving(capacity=capacity)
+        truth = Counter()
+        for key in keys:
+            top.offer(key)
+            truth[key] += 1
+        for entry in top.top():
+            assert entry.count >= truth[entry.key]
+            assert entry.guaranteed <= truth[entry.key]
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=300),
+           st.integers(2, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_heavy_hitters_always_present(self, keys, capacity):
+        """Any key with true count > N/capacity must be resident."""
+        top = SpaceSaving(capacity=capacity)
+        truth = Counter(keys)
+        for key in keys:
+            top.offer(key)
+        threshold = len(keys) / capacity
+        resident = {e.key for e in top.top()}
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in resident
+
+    def test_zipf_stream_top_identified(self):
+        rng = np.random.default_rng(1)
+        ranks = np.arange(1, 201, dtype=np.float64)
+        weights = ranks ** -1.5
+        weights /= weights.sum()
+        keys = rng.choice(200, size=20_000, p=weights)
+        top = SpaceSaving(capacity=32)
+        for key in keys:
+            top.offer(int(key))
+        reported = [e.key for e in top.top(5)]
+        truth_top = [k for k, _ in Counter(keys.tolist()).most_common(5)]
+        assert set(reported[:3]) == set(truth_top[:3])

@@ -1,0 +1,70 @@
+"""Tests for memory-size parsing and formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    bits_to_kb,
+    bytes_to_bits,
+    format_bits,
+    kb_to_bits,
+    parse_memory,
+)
+
+
+class TestConversions:
+    def test_kb_to_bits(self):
+        assert kb_to_bits(1) == 8192
+        assert kb_to_bits(64) == 64 * 8192
+
+    def test_fractional_kb(self):
+        assert kb_to_bits(0.5) == 4096
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(16) == 128
+
+    def test_bits_to_kb_roundtrip(self):
+        assert bits_to_kb(kb_to_bits(128)) == 128
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_nonpositive_rejected(self, value):
+        with pytest.raises(ConfigurationError):
+            kb_to_bits(value)
+        with pytest.raises(ConfigurationError):
+            bytes_to_bits(value)
+
+
+class TestParseMemory:
+    @pytest.mark.parametrize("text,bits", [
+        ("1KB", 8192),
+        ("1kb", 8192),
+        (" 8 KB ", 8 * 8192),
+        ("1KiB", 8192),
+        ("2MB", 2 * 1024 * 1024 * 8),
+        ("4096", 4096 * 8),
+        ("512 bits", 512),
+        ("1 bit", 1),
+        ("0.5KB", 4096),
+    ])
+    def test_strings(self, text, bits):
+        assert parse_memory(text) == bits
+
+    def test_numbers_are_bytes(self):
+        assert parse_memory(1024) == 8192
+        assert parse_memory(2.5) == 20
+
+    @pytest.mark.parametrize("bad", ["", "KB", "12XB", "-1KB", "0"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_memory(bad)
+
+
+class TestFormatBits:
+    @pytest.mark.parametrize("bits,text", [
+        (8192, "1.0KB"),
+        (8 * 1024 * 1024 * 8, "8.0MB"),
+        (64, "8B"),
+        (3, "3bits"),
+    ])
+    def test_natural_units(self, bits, text):
+        assert format_bits(bits) == text

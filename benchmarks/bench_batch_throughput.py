@@ -1,0 +1,30 @@
+"""Batch engine — ``insert_many`` vs per-item ``insert`` throughput.
+
+Not a paper figure: this tracks the library's own batch-ingestion
+speedup on a 1M-item synthetic stream (Table 3 configurations, exact
+vector sweep mode). Both paths are bit-identical in final sketch state
+(property-tested in tests/test_engine_equivalence.py), so the speedup
+is pure implementation. The acceptance floor is 5x.
+"""
+
+import json
+
+from repro.bench.experiments import batch_throughput
+
+from conftest import RESULTS_DIR, run_once
+
+
+def test_batch_throughput(benchmark, record_result):
+    result = run_once(benchmark, batch_throughput.run, seed=1)
+    record_result("batch", result)
+
+    payload = {
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
+    }
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+
+    for row in result.rows:
+        assert row["speedup"] >= 5.0

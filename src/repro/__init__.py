@@ -26,7 +26,9 @@ from .core import (
     ClockTimeSpanSketch,
     CardinalityEstimate,
     TimeSpanResult,
+    TimeSpanBatchResult,
 )
+from .engine import BatchEngine
 from .monitor import BatchReport, ItemBatchMonitor
 from .serialize import dump_sketch, dumps_sketch, load_sketch, loads_sketch
 from .streams import BatchTracker, Batch, Stream, segment_batches
@@ -51,6 +53,8 @@ __all__ = [
     "ClockTimeSpanSketch",
     "CardinalityEstimate",
     "TimeSpanResult",
+    "TimeSpanBatchResult",
+    "BatchEngine",
     "ItemBatchMonitor",
     "BatchReport",
     "dump_sketch",

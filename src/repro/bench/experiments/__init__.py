@@ -19,6 +19,7 @@ from . import (
     fig10_timespan,
     fig11_size,
     fig12_throughput_activeness,
+    batch_throughput,
     fig13_cache_hitrate,
     fig13x_cache_policies,
     table3_throughput,
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "fig13": fig13_cache_hitrate.run,
     "fig13x": fig13x_cache_policies.run,
     "table3": table3_throughput.run,
+    "batch": batch_throughput.run,
     "ablation1": ablation_error_window.run,
     "ablation2": ablation_hashing.run,
     "ablation3": ablation_deferred.run,

@@ -18,7 +18,7 @@ from ...baselines import Swamp, TimeOutBloomFilter, TimingBloomFilter
 from ...core import ClockBloomFilter
 from ...timebase import count_window
 from ...units import kb_to_bits
-from ..harness import ExperimentResult, cached_trace
+from ..harness import ExperimentResult, cached_trace, drive_inserts
 from ..metrics import measure_throughput
 
 DEFAULT_WINDOW = 4096
@@ -46,8 +46,13 @@ def _build(name: str, window, memory_bits: int, seed: int):
 def run(quick: bool = False, seed: int = 1,
         window_length: int = DEFAULT_WINDOW,
         memory_kb: float = DEFAULT_MEMORY_KB,
-        n_items: int = DEFAULT_ITEMS) -> ExperimentResult:
-    """Reproduce Figure 12."""
+        n_items: int = DEFAULT_ITEMS,
+        scalar: bool = False) -> ExperimentResult:
+    """Reproduce Figure 12.
+
+    ``scalar=True`` replays per-item ``insert`` loops instead of the
+    batch engine, for hot-path regression tracking.
+    """
     if quick:
         n_items = 10_000
     result = ExperimentResult(
@@ -74,7 +79,8 @@ def run(quick: bool = False, seed: int = 1,
         for _ in range(REPEATS):
             sketch = _build(name, window, memory_bits, seed)
             res = measure_throughput(
-                lambda: sketch.insert_many(stream.keys), len(stream)
+                lambda: drive_inserts(sketch, stream.keys, scalar=scalar),
+                len(stream),
             )
             insert_best = max(insert_best, res.mops)
             if name == "swamp":

@@ -44,6 +44,7 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "cached_trace",
+    "drive_inserts",
     "membership_query_keys",
     "activeness_fpr",
     "cardinality_estimate",
@@ -150,6 +151,29 @@ def cached_trace(dataset: str, n_items: int, window_hint: float,
 def effective_times(stream: Stream, window: WindowSpec) -> np.ndarray:
     """Arrival times of a stream under the window's kind."""
     return stream.effective_times(window.is_count_based)
+
+
+def drive_inserts(sketch, keys, times=None, scalar: bool = False) -> None:
+    """Feed a key stream into a sketch through either ingestion path.
+
+    ``scalar=False`` (default) drives the batch engine via
+    ``insert_many`` — the fast path every experiment uses.
+    ``scalar=True`` replays the per-item ``insert`` loop instead: the
+    paper's single-thread hot path, kept measurable so throughput
+    experiments can report both sides of the batch speedup. Both paths
+    leave exact-mode sketches in bit-identical state.
+    """
+    if not scalar:
+        if times is None:
+            sketch.insert_many(keys)
+        else:
+            sketch.insert_many(keys, times)
+    elif times is None:
+        for key in keys:
+            sketch.insert(key)
+    else:
+        for key, t in zip(keys, times):
+            sketch.insert(key, float(t))
 
 
 # ----------------------------------------------------------------------

@@ -63,9 +63,35 @@ class ThreadSafeSketch:
         """Locked :meth:`insert` on the wrapped sketch."""
         return self._guarded(self.sketch.insert, item, t)
 
+    def insert_many(self, items, times=None, chunk_size: int = 4096):
+        """Batch ingestion, locking once per ``chunk_size`` items.
+
+        Same bit-identical semantics as the wrapped sketch's
+        ``insert_many``, but the lock is taken per chunk rather than
+        per item (or per whole batch), so a cleaner or reader thread
+        can interleave between chunks of a large batch.
+        """
+        if chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive, got {chunk_size}")
+        total = len(items)
+        for pos in range(0, total, chunk_size):
+            end = min(pos + chunk_size, total)
+            chunk_times = None if times is None else times[pos:end]
+            self._guarded(self.sketch.insert_many, items[pos:end],
+                          chunk_times)
+
     def contains(self, item, t=None):
         """Locked :meth:`contains` (activeness sketches)."""
         return self._guarded(self.sketch.contains, item, t)
+
+    def contains_many(self, items, t=None):
+        """Locked bulk :meth:`contains_many` (activeness sketches)."""
+        return self._guarded(self.sketch.contains_many, items, t)
+
+    def query_many(self, items, t=None):
+        """Locked bulk :meth:`query_many` on the wrapped sketch."""
+        return self._guarded(self.sketch.query_many, items, t)
 
     def query(self, item, t=None):
         """Locked :meth:`query` (span/size sketches)."""

@@ -23,7 +23,7 @@ from .cardinality import (
     linear_counting_estimate,
     snapshot_cardinality,
 )
-from .timespan import ClockTimeSpanSketch, TimeSpanResult
+from .timespan import ClockTimeSpanSketch, TimeSpanBatchResult, TimeSpanResult
 from .size import ClockCountMin
 from .params import active_load, cells_for_memory, optimal_k_membership
 
@@ -40,6 +40,7 @@ __all__ = [
     "snapshot_cardinality",
     "ClockTimeSpanSketch",
     "TimeSpanResult",
+    "TimeSpanBatchResult",
     "ClockCountMin",
     "active_load",
     "cells_for_memory",

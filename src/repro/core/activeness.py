@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..engine import BatchEngine
 from ..hashing import IndexDeriver
 from ..timebase import WindowSpec
 from ..units import parse_memory
@@ -66,6 +66,7 @@ class ClockBloomFilter(ClockSketchBase):
         self.clock = ClockArray(n, s, window, sweep_mode=sweep_mode)
         self.deriver = IndexDeriver(n=n, k=k, seed=seed)
         self.seed = seed
+        self.engine = BatchEngine(self)
 
     @classmethod
     def from_memory(cls, memory, window: WindowSpec, s: int = OPTIMAL_S_MEMBERSHIP,
@@ -88,57 +89,28 @@ class ClockBloomFilter(ClockSketchBase):
         return self.clock.n
 
     def insert(self, item, t=None) -> None:
-        """Record an occurrence of ``item`` (at time ``t`` if time-based)."""
+        """Record an occurrence of ``item`` (at time ``t`` if time-based).
+
+        Semantically the batch-size-1 case of :meth:`insert_many`
+        (bit-identical final state, property-tested), kept as a direct
+        scalar path so single-item callers skip the batch machinery.
+        """
         now = self._insert_time(t)
         self.clock.advance(now)
         self.clock.touch(self.deriver.indexes(item))
 
-    def insert_many(self, keys, times=None) -> None:
-        """Insert an array of integer keys (bulk-hashed, loop-inserted).
+    def insert_many(self, items, times=None) -> None:
+        """Insert a batch of items through the batch engine.
 
-        ``times`` is required for time-based windows and must be
-        non-decreasing. With a deferred cleaner the inserts themselves
-        are chunk-vectorised: within one cleaning circle, touch order
-        does not matter, so whole chunks are written with one fancy
-        index — the pure-Python stand-in for the paper's SIMD+thread
-        configuration.
+        ``items`` may be an integer key array (fully vectorised
+        hashing) or any sequence of hashable stream items. ``times`` is
+        required for time-based windows and must be non-decreasing.
+        The final state is bit-identical to the equivalent loop of
+        :meth:`insert` calls on the exact sweep modes; with a deferred
+        cleaner, inserts are chunk-vectorised under that mode's relaxed
+        window guarantee.
         """
-        keys = np.asarray(keys)
-        index_matrix = self.deriver.bulk(keys)
-        if not self.window.is_count_based and times is None:
-            raise ConfigurationError("time-based insert_many requires times")
-        if self.clock.is_deferred:
-            self._insert_chunked(index_matrix, times)
-            return
-        if self.window.is_count_based:
-            for row in index_matrix:
-                now = self._insert_time(None)
-                self.clock.advance(now)
-                self.clock.touch(row)
-        else:
-            for row, t in zip(index_matrix, np.asarray(times, dtype=float)):
-                now = self._insert_time(float(t))
-                self.clock.advance(now)
-                self.clock.touch(row)
-
-    def _insert_chunked(self, index_matrix: np.ndarray, times) -> None:
-        """Vectorised insertion in one-cleaning-circle chunks."""
-        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
-        values = self.clock.values
-        max_value = self.clock.max_value
-        total = len(index_matrix)
-        times = None if times is None else np.asarray(times, dtype=float)
-        pos = 0
-        while pos < total:
-            end = min(pos + chunk, total)
-            self._items_inserted += end - pos
-            if self.window.is_count_based:
-                self._now = float(self._items_inserted)
-            else:
-                self._now = float(times[end - 1])
-            self.clock.advance(self._now)
-            values[index_matrix[pos:end].ravel()] = max_value
-            pos = end
+        self.engine.ingest_touch(self.deriver.bulk_items(items), times)
 
     def contains(self, item, t=None) -> bool:
         """Is the item's batch active? (May false-positive, never false-negative
@@ -147,12 +119,16 @@ class ClockBloomFilter(ClockSketchBase):
         self.clock.advance(now)
         return self.clock.are_nonzero(self.deriver.indexes(item))
 
-    def contains_many(self, keys, t=None) -> np.ndarray:
-        """Vectorised :meth:`contains` over an integer key array."""
+    def contains_many(self, items, t=None) -> np.ndarray:
+        """Vectorised :meth:`contains` over a batch of items."""
         now = self._query_time(t)
         self.clock.advance(now)
-        index_matrix = self.deriver.bulk(np.asarray(keys))
+        index_matrix = self.deriver.bulk_items(items)
         return np.all(self.clock.values[index_matrix] > 0, axis=1)
+
+    def query_many(self, items, t=None) -> np.ndarray:
+        """Batch query alias: activeness per item (see :meth:`contains_many`)."""
+        return self.contains_many(items, t)
 
     def memory_bits(self) -> int:
         """Accounted footprint in bits (clock cells only, per §4.1)."""

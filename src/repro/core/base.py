@@ -18,7 +18,9 @@ cleaning thread deterministically.
 
 from __future__ import annotations
 
-from ..errors import TimeError
+import numpy as np
+
+from ..errors import ConfigurationError, TimeError
 from ..timebase import WindowSpec
 
 
@@ -41,7 +43,13 @@ class ClockSketchBase:
         return self._now
 
     def _insert_time(self, t) -> float:
-        """Resolve and record the time of an insert."""
+        """Resolve and record the time of an insert.
+
+        Stream times are non-decreasing: ``t`` equal to the current time
+        is explicitly allowed (ties are routine — batches of items often
+        share one timestamp); only a strictly smaller ``t`` raises
+        :class:`~repro.errors.TimeError`.
+        """
         if self.window.is_count_based:
             if t is not None:
                 raise TimeError(
@@ -54,10 +62,56 @@ class ClockSketchBase:
         if t is None:
             raise TimeError("time-based sketches require an insert timestamp")
         if t < self._now:
-            raise TimeError(f"time moved backwards: {t} < {self._now}")
+            raise TimeError(
+                f"time moved backwards: {t} < {self._now} "
+                "(equal timestamps are allowed; strictly smaller are not)"
+            )
         self._items_inserted += 1
         self._now = float(t)
         return self._now
+
+    def _insert_times_many(self, count: int, times) -> np.ndarray:
+        """Resolve a whole batch of insert times in one vectorised pass.
+
+        The array twin of :meth:`_insert_time`: applies the same
+        temporal rules to ``count`` items at once and returns the
+        per-item arrival times as ``float64``, *without* mutating the
+        sketch — callers commit the batch once it is applied, so a
+        rejected batch leaves the sketch untouched.
+
+        Count-based windows take ``times=None`` (items arrive at
+        consecutive counts); time-based windows require a non-decreasing
+        ``times`` array whose first entry is not before the current
+        time. Ties — runs of equal timestamps — are allowed, exactly as
+        in the scalar path.
+        """
+        if self.window.is_count_based:
+            if times is not None:
+                raise TimeError(
+                    "count-based sketches take no insert timestamp; "
+                    "time is the item count"
+                )
+            start = self._items_inserted
+            return np.arange(start + 1, start + count + 1, dtype=np.float64)
+        if times is None:
+            raise ConfigurationError("time-based insert_many requires times")
+        resolved = np.asarray(times, dtype=np.float64)
+        if resolved.ndim != 1 or resolved.shape[0] != count:
+            raise ConfigurationError(
+                f"times must align with the {count} items, "
+                f"got shape {resolved.shape}"
+            )
+        if count:
+            if resolved[0] < self._now:
+                raise TimeError(
+                    f"time moved backwards: {resolved[0]} < {self._now} "
+                    "(equal timestamps are allowed; strictly smaller are not)"
+                )
+            if np.any(resolved[1:] < resolved[:-1]):
+                raise TimeError(
+                    "insert times must be non-decreasing within a batch"
+                )
+        return resolved
 
     def _query_time(self, t) -> float:
         """Resolve the time of a query (defaults to the latest time).

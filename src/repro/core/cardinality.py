@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import BatchEngine
 from ..errors import EstimatorSaturatedError
 from ..hashing import IndexDeriver
 from ..timebase import WindowSpec
@@ -84,6 +85,7 @@ class ClockBitmap(ClockSketchBase):
         self.clock = ClockArray(n, s, window, sweep_mode=sweep_mode)
         self.deriver = IndexDeriver(n=n, k=1, seed=seed)
         self.seed = seed
+        self.engine = BatchEngine(self)
 
     @classmethod
     def from_memory(cls, memory, window: WindowSpec,
@@ -100,52 +102,38 @@ class ClockBitmap(ClockSketchBase):
         return self.clock.n
 
     def insert(self, item, t=None) -> None:
-        """Record an occurrence of ``item``."""
+        """Record an occurrence of ``item``.
+
+        Semantically the batch-size-1 case of :meth:`insert_many`
+        (bit-identical final state, property-tested).
+        """
         now = self._insert_time(t)
         self.clock.advance(now)
         self.clock.values[self.deriver.indexes(item)[0]] = self.clock.max_value
 
-    def insert_many(self, keys, times=None) -> None:
-        """Insert an array of integer keys (bulk-hashed).
+    def insert_many(self, items, times=None) -> None:
+        """Insert a batch of items through the batch engine.
 
-        With a deferred cleaner, inserts are chunk-vectorised (see
+        Accepts integer key arrays or any sequence of hashable items;
+        bit-identical to a loop of :meth:`insert` calls on the exact
+        sweep modes, chunk-vectorised under a deferred cleaner (see
         :meth:`ClockBloomFilter.insert_many`).
         """
-        cells = self.deriver.bulk_single(np.asarray(keys))
-        values = self.clock.values
-        max_value = self.clock.max_value
-        if self.clock.is_deferred:
-            self._insert_chunked(cells, times)
-            return
-        if self.window.is_count_based:
-            for cell in cells:
-                now = self._insert_time(None)
-                self.clock.advance(now)
-                values[cell] = max_value
-        else:
-            for cell, t in zip(cells, np.asarray(times, dtype=float)):
-                now = self._insert_time(float(t))
-                self.clock.advance(now)
-                values[cell] = max_value
+        cells = self.deriver.bulk_single_items(items)
+        self.engine.ingest_touch(cells.reshape(-1, 1), times)
 
-    def _insert_chunked(self, cells: np.ndarray, times) -> None:
-        """Vectorised insertion in one-cleaning-circle chunks."""
-        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
-        values = self.clock.values
-        max_value = self.clock.max_value
-        total = len(cells)
-        times = None if times is None else np.asarray(times, dtype=float)
-        pos = 0
-        while pos < total:
-            end = min(pos + chunk, total)
-            self._items_inserted += end - pos
-            if self.window.is_count_based:
-                self._now = float(self._items_inserted)
-            else:
-                self._now = float(times[end - 1])
-            self.clock.advance(self._now)
-            values[cells[pos:end]] = max_value
-            pos = end
+    def query_many(self, items, t=None) -> np.ndarray:
+        """Crude per-item activity view: is each item's single cell live?
+
+        One hash per item means collisions alias freely — this is a
+        bitmap, not a filter — but the zero/non-zero pattern is exactly
+        what :meth:`estimate` aggregates, exposed per item for
+        diagnostics and batch pipelines.
+        """
+        now = self._query_time(t)
+        self.clock.advance(now)
+        cells = self.deriver.bulk_single_items(items)
+        return self.clock.values[cells] > 0
 
     def estimate(self, t=None, strict: bool = False) -> CardinalityEstimate:
         """Estimate the number of active item batches at time ``t``."""

@@ -148,6 +148,21 @@ class ClockArray:
             return (int(now) * self.n * self.circles_per_window) // int(self._window_length)
         return math.floor(now * self.n * self.circles_per_window / self._window_length)
 
+    def step_targets(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`total_steps_at` over an array of times.
+
+        Bit-identical to calling :meth:`total_steps_at` per element:
+        count-based windows use the same exact integer arithmetic, and
+        time-based windows perform the identical sequence of float64
+        operations before flooring.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if self._count_based:
+            counts = times.astype(np.int64)
+            return (counts * self.n * self.circles_per_window) // int(self._window_length)
+        raw = times * self.n * self.circles_per_window / self._window_length
+        return np.floor(raw).astype(np.int64)
+
     @property
     def now(self) -> float:
         """The latest time the array has been advanced to."""
@@ -190,6 +205,19 @@ class ClockArray:
     def is_deferred(self) -> bool:
         """True when cleaning is batched behind the insert path."""
         return self.sweep_mode.startswith("deferred")
+
+    def sync_state(self, now, steps_done: int) -> None:
+        """Adopt an externally computed cleaner position.
+
+        The batch engine applies whole sweeps in closed form
+        (:mod:`repro.engine.fused`) and then declares the end state here
+        instead of replaying the steps through :meth:`advance`.
+        """
+        if now < self._now:
+            raise TimeError(f"time moved backwards: {now} < {self._now}")
+        self._now = now
+        if steps_done > self._steps_done:
+            self._steps_done = int(steps_done)
 
     def flush(self) -> None:
         """Force a deferred cleaner to catch up to the current time."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import BatchEngine
 from ..errors import ConfigurationError
 from ..hashing import IndexDeriver
 from ..timebase import WindowSpec
@@ -92,6 +93,7 @@ class ClockCountMin(ClockSketchBase):
             for row in range(self.depth)
         ]
         self.seed = seed
+        self.engine = BatchEngine(self)
 
     def _clear_cells(self, expired: np.ndarray) -> None:
         self.counters[expired] = 0
@@ -134,72 +136,39 @@ class ClockCountMin(ClockSketchBase):
                 if counters[flat] < counter_max:
                     counters[flat] += 1
 
+    def _flat_matrix(self, items) -> np.ndarray:
+        """``(N, depth)`` flat cell indexes for a batch of items."""
+        offsets = np.arange(self.depth, dtype=np.int64) * self.width
+        columns = np.stack(
+            [d.bulk_single_items(items) for d in self._derivers], axis=1
+        )
+        return columns + offsets[None, :]
+
     def insert(self, item, t=None) -> None:
-        """Record an occurrence of ``item``, growing its batch counters."""
+        """Record an occurrence of ``item``, growing its batch counters.
+
+        Semantically the batch-size-1 case of :meth:`insert_many`
+        (bit-identical final state, property-tested).
+        """
         now = self._insert_time(t)
         self.clock.advance(now)
         flats = self._flat_indexes(item)
         self._bump(flats)
         self.clock.touch(flats)
 
-    def insert_many(self, keys, times=None) -> None:
-        """Insert an array of integer keys (bulk-hashed).
+    def insert_many(self, items, times=None) -> None:
+        """Insert a batch of items through the batch engine.
 
-        With a deferred cleaner and plain (non-conservative) updates,
-        inserts are chunk-vectorised: within one cleaning circle the
-        counter increments commute, so whole chunks go through
-        ``np.add.at`` — the stand-in for the paper's SIMD+thread mode.
+        Accepts integer key arrays or any sequence of hashable items;
+        bit-identical to a loop of :meth:`insert` calls on the exact
+        sweep modes (conservative update, being order-dependent, always
+        replays the per-item loop). With a deferred cleaner and plain
+        updates, inserts are chunk-vectorised: within one cleaning
+        circle the counter increments commute, so whole chunks go
+        through ``np.add.at`` — the stand-in for the paper's
+        SIMD+thread mode.
         """
-        keys = np.asarray(keys)
-        offsets = np.arange(self.depth, dtype=np.int64) * self.width
-        columns = np.stack(
-            [d.bulk_single(keys) for d in self._derivers], axis=1
-        )  # (N, depth)
-        flat_matrix = columns + offsets[None, :]
-        if not self.window.is_count_based and times is None:
-            raise ConfigurationError("time-based insert_many requires times")
-        if self.clock.is_deferred and not self.conservative:
-            self._insert_chunked(flat_matrix, times)
-            return
-        clock = self.clock
-        if self.window.is_count_based:
-            time_iter = (None for _ in range(len(keys)))
-        else:
-            time_iter = iter(np.asarray(times, dtype=float))
-        for row in flat_matrix:
-            now = self._insert_time(next(time_iter))
-            clock.advance(now)
-            self._bump(row)
-            clock.touch(row)
-
-    def _insert_chunked(self, flat_matrix: np.ndarray, times) -> None:
-        """Vectorised insertion in one-cleaning-circle chunks."""
-        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
-        counters = self.counters
-        counter_max = self.counter_max
-        values = self.clock.values
-        max_value = self.clock.max_value
-        total = len(flat_matrix)
-        times = None if times is None else np.asarray(times, dtype=float)
-        pos = 0
-        while pos < total:
-            end = min(pos + chunk, total)
-            self._items_inserted += end - pos
-            if self.window.is_count_based:
-                self._now = float(self._items_inserted)
-            else:
-                self._now = float(times[end - 1])
-            self.clock.advance(self._now)
-            flats = flat_matrix[pos:end].ravel()
-            # uint32 counters cannot wrap at these chunk sizes; clamp
-            # only the touched cells back to the counter ceiling.
-            np.add.at(counters, flats, 1)
-            touched = np.unique(flats)
-            over = touched[counters[touched] > counter_max]
-            if over.size:
-                counters[over] = counter_max
-            values[flats] = max_value
-            pos = end
+        self.engine.ingest_countmin(self._flat_matrix(items), times)
 
     def query(self, item, t=None) -> int:
         """Estimated size of the item's active batch (0 when inactive)."""
@@ -207,16 +176,11 @@ class ClockCountMin(ClockSketchBase):
         self.clock.advance(now)
         return int(min(self.counters[flat] for flat in self._flat_indexes(item)))
 
-    def query_many(self, keys, t=None) -> np.ndarray:
-        """Vectorised :meth:`query` over an integer key array."""
+    def query_many(self, items, t=None) -> np.ndarray:
+        """Vectorised :meth:`query` over a batch of items."""
         now = self._query_time(t)
         self.clock.advance(now)
-        offsets = np.arange(self.depth, dtype=np.int64) * self.width
-        columns = np.stack(
-            [d.bulk_single(np.asarray(keys)) for d in self._derivers], axis=1
-        )
-        flat_matrix = columns + offsets[None, :]
-        return np.min(self.counters[flat_matrix], axis=1).astype(np.int64)
+        return np.min(self.counters[self._flat_matrix(items)], axis=1).astype(np.int64)
 
     def memory_bits(self) -> int:
         """Accounted footprint: ``d * w`` cells of ``s + b`` bits."""

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, TimeError
+from ..engine import BatchEngine
+from ..errors import TimeError
 from ..hashing import IndexDeriver
 from ..timebase import WindowSpec
 from ..units import parse_memory
@@ -29,7 +30,7 @@ from .base import ClockSketchBase
 from .clockarray import ClockArray
 from .params import cells_for_memory
 
-__all__ = ["ClockTimeSpanSketch", "TimeSpanResult"]
+__all__ = ["ClockTimeSpanSketch", "TimeSpanResult", "TimeSpanBatchResult"]
 
 #: §5.3/§6.4: the optimal clock width lies in [8, 64] and is 8 at the
 #: paper's reference configuration (M = 128 KB, W = 4096).
@@ -50,6 +51,31 @@ class TimeSpanResult:
     active: bool
     span: "float | None" = None
     begin: "float | None" = None
+
+
+@dataclass(frozen=True)
+class TimeSpanBatchResult:
+    """Vectorised answer to a batch of time-span queries.
+
+    Arrays align with the queried items: ``active`` is boolean;
+    ``span``/``begin`` are float64 and hold NaN where the batch is
+    inactive. Indexing yields the scalar :class:`TimeSpanResult` for
+    one item.
+    """
+
+    active: np.ndarray
+    span: np.ndarray
+    begin: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    def __getitem__(self, i: int) -> TimeSpanResult:
+        if not self.active[i]:
+            return TimeSpanResult(active=False)
+        return TimeSpanResult(
+            active=True, span=float(self.span[i]), begin=float(self.begin[i])
+        )
 
 
 class ClockTimeSpanSketch(ClockSketchBase):
@@ -76,6 +102,7 @@ class ClockTimeSpanSketch(ClockSketchBase):
         )
         self.deriver = IndexDeriver(n=n, k=k, seed=seed)
         self.seed = seed
+        self.engine = BatchEngine(self)
 
     def _clear_cells(self, expired: np.ndarray) -> None:
         self.timestamps[expired] = 0.0
@@ -95,7 +122,11 @@ class ClockTimeSpanSketch(ClockSketchBase):
         return self.clock.n
 
     def insert(self, item, t=None) -> None:
-        """Record an occurrence of ``item``; starts a batch if cells are empty."""
+        """Record an occurrence of ``item``; starts a batch if cells are empty.
+
+        Semantically the batch-size-1 case of :meth:`insert_many`
+        (bit-identical final state, property-tested).
+        """
         now = self._insert_time(t)
         if now <= 0:
             raise TimeError("time-span sketch requires positive stream times")
@@ -107,67 +138,17 @@ class ClockTimeSpanSketch(ClockSketchBase):
             if ts[i] == 0.0:
                 ts[i] = now
 
-    def insert_many(self, keys, times=None) -> None:
-        """Insert an array of integer keys (bulk-hashed).
+    def insert_many(self, items, times=None) -> None:
+        """Insert a batch of items through the batch engine.
 
-        With a deferred cleaner, inserts are chunk-vectorised: within a
-        cleaning circle, "write the timestamp if the cell is empty"
-        reduces to a per-cell minimum over the chunk's arrival times.
+        Accepts integer key arrays or any sequence of hashable items;
+        bit-identical to a loop of :meth:`insert` calls on the exact
+        sweep modes. With a deferred cleaner, inserts are
+        chunk-vectorised: within a cleaning circle, "write the
+        timestamp if the cell is empty" reduces to a per-cell minimum
+        over the chunk's arrival times.
         """
-        keys = np.asarray(keys)
-        index_matrix = self.deriver.bulk(keys)
-        if not self.window.is_count_based and times is None:
-            raise ConfigurationError("time-based insert_many requires times")
-        if self.clock.is_deferred:
-            self._insert_chunked(index_matrix, times)
-            return
-        ts = self.timestamps
-        clock = self.clock
-        if self.window.is_count_based:
-            time_iter = (None for _ in range(len(keys)))
-        else:
-            time_iter = iter(np.asarray(times, dtype=float))
-        for row in index_matrix:
-            now = self._insert_time(next(time_iter))
-            clock.advance(now)
-            clock.touch(row)
-            for i in row:
-                if ts[i] == 0.0:
-                    ts[i] = now
-
-    def _insert_chunked(self, index_matrix: np.ndarray, times) -> None:
-        """Vectorised insertion in one-cleaning-circle chunks."""
-        chunk = max(1, int(self.window.length) // self.clock.circles_per_window)
-        ts = self.timestamps
-        values = self.clock.values
-        max_value = self.clock.max_value
-        total = len(index_matrix)
-        times = None if times is None else np.asarray(times, dtype=float)
-        k = self.k
-        pos = 0
-        while pos < total:
-            end = min(pos + chunk, total)
-            start_count = self._items_inserted
-            self._items_inserted += end - pos
-            if self.window.is_count_based:
-                stamps = np.arange(start_count + 1, self._items_inserted + 1,
-                                   dtype=np.float64)
-                self._now = float(self._items_inserted)
-            else:
-                stamps = times[pos:end]
-                self._now = float(stamps[-1])
-            self.clock.advance(self._now)
-            flats = index_matrix[pos:end].ravel()
-            # First-writer-wins per cell: the minimum arrival time of
-            # the chunk's writers, applied only to empty cells (working
-            # over the chunk's unique cells keeps this O(chunk)).
-            uniq, inverse = np.unique(flats, return_inverse=True)
-            firsts = np.full(uniq.size, np.inf)
-            np.minimum.at(firsts, inverse, np.repeat(stamps, k))
-            empty = ts[uniq] == 0.0
-            ts[uniq[empty]] = firsts[empty]
-            values[flats] = max_value
-            pos = end
+        self.engine.ingest_timespan(self.deriver.bulk_items(items), times)
 
     def query(self, item, t=None) -> TimeSpanResult:
         """Time span of the item's batch at time ``t`` (or the latest time)."""
@@ -178,6 +159,24 @@ class ClockTimeSpanSketch(ClockSketchBase):
             return TimeSpanResult(active=False)
         begin = float(np.max(self.timestamps[idxs]))
         return TimeSpanResult(active=True, span=now - begin, begin=begin)
+
+    def query_many(self, items, t=None) -> TimeSpanBatchResult:
+        """Vectorised :meth:`query` over a batch of items.
+
+        Item ``i`` gets exactly the scalar answer: active iff all its
+        ``k`` clocks are non-zero, with ``begin`` the newest of its
+        hashed timestamps and ``span = t - begin``; inactive items hold
+        NaN in both float arrays.
+        """
+        now = self._query_time(t)
+        self.clock.advance(now)
+        index_matrix = self.deriver.bulk_items(items)
+        active = np.all(self.clock.values[index_matrix] > 0, axis=1)
+        begin = np.max(self.timestamps[index_matrix], axis=1)
+        span = now - begin
+        begin[~active] = np.nan
+        span[~active] = np.nan
+        return TimeSpanBatchResult(active=active, span=span, begin=begin)
 
     def memory_bits(self) -> int:
         """Accounted footprint: ``n`` cells of ``s + 64`` bits."""

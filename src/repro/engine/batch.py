@@ -1,0 +1,252 @@
+"""Batch-ingestion engine shared by all four Clock-sketch variants.
+
+:class:`BatchEngine` is the one place that knows how to turn "a batch
+of items with their arrival times" into sketch state. Every sketch owns
+an engine and hands it pre-hashed cell indexes; the engine resolves the
+batch's arrival times in bulk (:meth:`ClockSketchBase._insert_times_many`),
+picks an application strategy, and commits the sketch's temporal
+bookkeeping once the batch is applied:
+
+- **fused** (exact sweep modes, batches of :data:`DEFAULT_MIN_FUSED`
+  or more): closed-form numpy application via :mod:`repro.engine.fused`
+  — bit-identical to the scalar loop, no per-item Python work;
+- **loop** (exact modes, small batches): the reference per-item
+  interleaving of ``advance`` and cell writes;
+- **deferred** (deferred sweep modes): the one-cleaning-circle chunked
+  scatter path, preserving those modes' documented relaxed-window
+  semantics exactly.
+
+Order-dependent updates that have no closed form — Count-Min's
+conservative update — always take the loop path, so ``insert_many``
+stays exactly equal to the equivalent ``insert`` loop there too.
+
+The engine is stateless apart from its ``min_fused`` threshold, so
+serialisation of a sketch ignores it entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TimeError
+from .fused import fuse_countmin, fuse_timespan, fuse_touch
+
+__all__ = ["BatchEngine", "DEFAULT_MIN_FUSED"]
+
+#: Smallest batch routed through the fused closed-form path. Below
+#: this, the numpy setup (argsort, segment bookkeeping) costs more than
+#: the per-item loop it replaces; the cutover is deliberately low
+#: because both paths produce bit-identical state.
+DEFAULT_MIN_FUSED = 16
+
+
+class BatchEngine:
+    """Applies whole insert batches to one sketch.
+
+    Parameters
+    ----------
+    sketch:
+        The owning :class:`~repro.core.base.ClockSketchBase` instance.
+        The engine reads its window, clock, and side arrays, and is the
+        only writer of its temporal counters during a batch.
+    """
+
+    __slots__ = ("sketch", "min_fused")
+
+    def __init__(self, sketch):
+        self.sketch = sketch
+        self.min_fused = DEFAULT_MIN_FUSED
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _commit(self, times_arr: np.ndarray) -> None:
+        """Record a fully-applied batch in the sketch's bookkeeping."""
+        sketch = self.sketch
+        sketch._items_inserted += len(times_arr)
+        sketch._now = float(times_arr[-1])
+
+    def _finish_fused(self, times_arr: np.ndarray, end_steps: int) -> None:
+        """Adopt the fused end state: cleaner position plus commit."""
+        self.sketch.clock.sync_state(float(times_arr[-1]), end_steps)
+        self._commit(times_arr)
+
+    def _ingest_loop(self, times_arr: np.ndarray, apply_one) -> None:
+        """Reference path: per-item advance + cell writes, then commit."""
+        clock = self.sketch.clock
+        for i, now in enumerate(times_arr):
+            now = float(now)
+            clock.advance(now)
+            apply_one(i, now)
+        self._commit(times_arr)
+
+    def _ingest_deferred(self, times_arr: np.ndarray, scatter) -> None:
+        """Deferred-mode path: one-cleaning-circle chunked scatters.
+
+        Within one cleaning circle, touch order cannot affect deferred
+        sweeps, so each chunk is committed, advanced, and scattered
+        wholesale — the pure-Python stand-in for the paper's
+        unsynchronised SIMD cleaning thread. Semantics (including the
+        relaxed window guarantee at its edge) match the sweep mode's
+        documentation; this path predates the engine and is preserved
+        verbatim.
+        """
+        sketch = self.sketch
+        clock = sketch.clock
+        chunk = max(1, int(sketch.window.length) // clock.circles_per_window)
+        total = len(times_arr)
+        pos = 0
+        while pos < total:
+            end = min(pos + chunk, total)
+            sketch._items_inserted += end - pos
+            sketch._now = float(times_arr[end - 1])
+            clock.advance(sketch._now)
+            scatter(pos, end)
+            pos = end
+
+    # ------------------------------------------------------------------
+    # Per-structure ingestion
+    # ------------------------------------------------------------------
+
+    def ingest_touch(self, index_matrix: np.ndarray, times=None) -> None:
+        """Batch of plain clock touches (BF+clock, BM+clock).
+
+        ``index_matrix`` is ``(N, k)`` cell indexes in arrival order
+        (bitmaps pass ``k = 1``); ``times`` follows ``insert_many``'s
+        contract.
+        """
+        sketch = self.sketch
+        clock = sketch.clock
+        count = len(index_matrix)
+        times_arr = sketch._insert_times_many(count, times)
+        if not count:
+            return
+        if clock.is_deferred:
+            values = clock.values
+            max_value = clock.max_value
+
+            def scatter(pos, end):
+                values[index_matrix[pos:end].ravel()] = max_value
+
+            self._ingest_deferred(times_arr, scatter)
+        elif count >= self.min_fused:
+            steps = clock.step_targets(times_arr)
+            end_steps = int(steps[-1])
+            fuse_touch(
+                clock,
+                index_matrix.ravel(),
+                np.repeat(steps, index_matrix.shape[1]),
+                end_steps,
+            )
+            self._finish_fused(times_arr, end_steps)
+        else:
+            self._ingest_loop(
+                times_arr, lambda i, now: clock.touch(index_matrix[i])
+            )
+
+    def ingest_timespan(self, index_matrix: np.ndarray, times=None) -> None:
+        """Batch of touches plus first-writer timestamps (BF-ts+clock)."""
+        sketch = self.sketch
+        clock = sketch.clock
+        timestamps = sketch.timestamps
+        count = len(index_matrix)
+        times_arr = sketch._insert_times_many(count, times)
+        if not count:
+            return
+        if times_arr[0] <= 0:
+            raise TimeError("time-span sketch requires positive stream times")
+        k = index_matrix.shape[1]
+        if clock.is_deferred:
+            values = clock.values
+            max_value = clock.max_value
+
+            def scatter(pos, end):
+                stamps = times_arr[pos:end]
+                flats = index_matrix[pos:end].ravel()
+                # First-writer-wins per cell: the minimum arrival time
+                # of the chunk's writers, applied only to empty cells
+                # (working over the chunk's unique cells keeps this
+                # O(chunk)).
+                uniq, inverse = np.unique(flats, return_inverse=True)
+                firsts = np.full(uniq.size, np.inf)
+                np.minimum.at(firsts, inverse, np.repeat(stamps, k))
+                empty = timestamps[uniq] == 0.0
+                timestamps[uniq[empty]] = firsts[empty]
+                values[flats] = max_value
+
+            self._ingest_deferred(times_arr, scatter)
+        elif count >= self.min_fused:
+            steps = clock.step_targets(times_arr)
+            end_steps = int(steps[-1])
+            fuse_timespan(
+                clock,
+                timestamps,
+                index_matrix.ravel(),
+                np.repeat(steps, k),
+                np.repeat(times_arr, k),
+                end_steps,
+            )
+            self._finish_fused(times_arr, end_steps)
+        else:
+
+            def apply_one(i, now):
+                row = index_matrix[i]
+                clock.touch(row)
+                for cell in row:
+                    if timestamps[cell] == 0.0:
+                        timestamps[cell] = now
+
+            self._ingest_loop(times_arr, apply_one)
+
+    def ingest_countmin(self, flat_matrix: np.ndarray, times=None) -> None:
+        """Batch of counter bumps plus touches (CM+clock).
+
+        Conservative update inspects the counters it is about to bump,
+        making it order-dependent with no closed form — it always takes
+        the loop path, so batch and scalar results stay exactly equal.
+        """
+        sketch = self.sketch
+        clock = sketch.clock
+        counters = sketch.counters
+        count = len(flat_matrix)
+        times_arr = sketch._insert_times_many(count, times)
+        if not count:
+            return
+        if clock.is_deferred and not sketch.conservative:
+            values = clock.values
+            max_value = clock.max_value
+            counter_max = sketch.counter_max
+
+            def scatter(pos, end):
+                flats = flat_matrix[pos:end].ravel()
+                # uint32 counters cannot wrap at these chunk sizes;
+                # clamp only the touched cells back to the ceiling.
+                np.add.at(counters, flats, 1)
+                touched = np.unique(flats)
+                over = touched[counters[touched] > counter_max]
+                if over.size:
+                    counters[over] = counter_max
+                values[flats] = max_value
+
+            self._ingest_deferred(times_arr, scatter)
+        elif not sketch.conservative and count >= self.min_fused:
+            steps = clock.step_targets(times_arr)
+            end_steps = int(steps[-1])
+            fuse_countmin(
+                clock,
+                counters,
+                sketch.counter_max,
+                flat_matrix.ravel(),
+                np.repeat(steps, flat_matrix.shape[1]),
+                end_steps,
+            )
+            self._finish_fused(times_arr, end_steps)
+        else:
+
+            def apply_one(i, now):
+                row = flat_matrix[i]
+                sketch._bump(row)
+                clock.touch(row)
+
+            self._ingest_loop(times_arr, apply_one)

@@ -17,7 +17,14 @@ subpackage provides:
 
 from .bobhash import hashlittle, hashlittle2, bob_hash64
 from .family import BobHashFamily, Blake2HashFamily, canonical_bytes, default_family
-from .indexing import IndexDeriver, splitmix64, bulk_base_hashes, scalar_base_hash
+from .indexing import (
+    IndexDeriver,
+    splitmix64,
+    bulk_base_hashes,
+    scalar_base_hash,
+    derive_index_matrix,
+    derive_index_single,
+)
 from .fingerprint import Fingerprinter
 
 __all__ = [
@@ -32,5 +39,7 @@ __all__ = [
     "splitmix64",
     "bulk_base_hashes",
     "scalar_base_hash",
+    "derive_index_matrix",
+    "derive_index_single",
     "Fingerprinter",
 ]

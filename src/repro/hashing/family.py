@@ -19,9 +19,53 @@ from __future__ import annotations
 import hashlib
 import struct
 
+import numpy as np
+
 from .bobhash import bob_hash64
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Entries kept in a family's ``hash_many`` memo before it is dropped.
+#: Batch workloads revisit hot keys constantly; the cap only guards
+#: against unbounded growth on adversarial all-distinct streams.
+HASH_CACHE_LIMIT = 1 << 20
+
+
+class _CachedBulkHashing:
+    """Mixin: batch hashing with a per-unique-item memo.
+
+    The pure-Python Bob Hash is the per-item bottleneck of the scalar
+    insert path. Batches hash each *unique* item once: repeats — the
+    defining feature of item-batch streams — hit the memo dictionary
+    instead of re-walking the hash rounds.
+    """
+
+    _cache: "dict | None" = None
+
+    def hash_many(self, items) -> np.ndarray:
+        """Return the 64-bit base hashes of a sequence of items.
+
+        Each distinct item is hashed at most once per family instance
+        (memoised up to :data:`HASH_CACHE_LIMIT` entries); the result
+        row-aligns with ``items`` and equals ``base64`` element-wise.
+        """
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = {}
+        elif len(cache) > HASH_CACHE_LIMIT:
+            cache.clear()
+        base64 = self.base64
+        out = np.empty(len(items), dtype=np.uint64)
+        for i, item in enumerate(items):
+            # Key by type as well as value: bool hashes differently from
+            # int under canonical_bytes, but True == 1 as a dict key.
+            key = (item.__class__, item)
+            h = cache.get(key)
+            if h is None:
+                h = base64(item)
+                cache[key] = h
+            out[i] = h
+        return out
 
 
 def canonical_bytes(item) -> bytes:
@@ -52,7 +96,7 @@ def canonical_bytes(item) -> bytes:
     raise TypeError(f"unhashable stream item type: {type(item).__name__}")
 
 
-class BobHashFamily:
+class BobHashFamily(_CachedBulkHashing):
     """64-bit base hashes from the lookup3 Bob Hash, seeded.
 
     >>> fam = BobHashFamily(seed=1)
@@ -71,7 +115,7 @@ class BobHashFamily:
         return f"BobHashFamily(seed={self.seed})"
 
 
-class Blake2HashFamily:
+class Blake2HashFamily(_CachedBulkHashing):
     """64-bit base hashes from keyed BLAKE2b (C-speed alternative)."""
 
     def __init__(self, seed: int = 0):

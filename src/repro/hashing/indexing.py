@@ -56,6 +56,35 @@ def bulk_base_hashes(keys: np.ndarray, seed: int = 0) -> np.ndarray:
 _M64 = 0xFFFFFFFFFFFFFFFF
 
 
+def derive_index_matrix(base: np.ndarray, n: int, k: int) -> np.ndarray:
+    """Kirsch–Mitzenmacher double hashing in array form.
+
+    Turns an array of 64-bit base hashes into a ``(len(base), k)``
+    matrix of cell indexes in ``[0, n)`` — the vectorised twin of
+    :meth:`IndexDeriver.indexes`: ``h1`` is the low 32 bits, ``h2`` the
+    high 32 bits forced odd, row ``i`` is ``(h1 + j * h2) mod n`` for
+    ``j = 0..k-1``.
+    """
+    base = np.asarray(base, dtype=np.uint64)
+    h1 = (base & np.uint64(0xFFFFFFFF)).astype(np.uint64)
+    h2 = ((base >> np.uint64(32)) | np.uint64(1)).astype(np.uint64)
+    steps = np.arange(k, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        matrix = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(n)
+    return matrix.astype(np.int64)
+
+
+def derive_index_single(base: np.ndarray, n: int) -> np.ndarray:
+    """First double-hashing probe per base hash (``h1 mod n``).
+
+    Array form of ``indexes(item)[0]``, used by one-hash structures
+    (bitmaps, per-row Count-Min derivers).
+    """
+    base = np.asarray(base, dtype=np.uint64)
+    h1 = base & np.uint64(0xFFFFFFFF)
+    return (h1 % np.uint64(n)).astype(np.int64)
+
+
 def scalar_base_hash(key: int, seed: int = 0) -> int:
     """Scalar twin of :func:`bulk_base_hashes` for one integer key.
 
@@ -116,20 +145,58 @@ class IndexDeriver:
         n = self.n
         return [(h1 + i * h2) % n for i in range(self.k)]
 
+    def base_hashes_many(self, items) -> np.ndarray:
+        """64-bit base hashes for a whole batch of arbitrary items.
+
+        The array twin of :meth:`base_hash`: integer arrays go through
+        the vectorised splitmix64 mix; anything else (strings, bytes,
+        tuples, mixed sequences) is hashed once per unique item via the
+        family's cached ``hash_many`` path, with integers inside object
+        sequences still using the splitmix mix so every key lands in
+        the same cells regardless of how it arrived.
+        """
+        if isinstance(items, np.ndarray):
+            if items.dtype.kind in "iu":
+                return bulk_base_hashes(items, self.seed)
+        elif isinstance(items, (list, tuple)) and items \
+                and all(isinstance(x, (int, np.integer))
+                        and not isinstance(x, bool) for x in items):
+            return bulk_base_hashes(np.asarray(items, dtype=np.int64), self.seed)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        seed = self.seed
+        hash_many = getattr(self.family, "hash_many", None)
+        out = np.empty(len(items), dtype=np.uint64)
+        pending: "list[int]" = []
+        for i, item in enumerate(items):
+            if isinstance(item, (int, np.integer)) and not isinstance(item, bool):
+                out[i] = scalar_base_hash(int(item), seed)
+            elif hash_many is None:
+                out[i] = self.family.base64(item)
+            else:
+                pending.append(i)
+        if pending:
+            out[pending] = hash_many([items[i] for i in pending])
+        return out
+
     def bulk(self, keys: np.ndarray) -> np.ndarray:
         """Return an ``(len(keys), k)`` index matrix for integer keys.
 
-        Used by the snapshot fast paths; rows are the ``k`` positions of
-        each key, derived with the same double-hashing scheme as the
-        scalar path (over the splitmix64 base hash).
+        Used by the snapshot fast paths and the batch engine; rows are
+        the ``k`` positions of each key, derived with the same
+        double-hashing scheme as the scalar path (over the splitmix64
+        base hash).
         """
         base = bulk_base_hashes(np.asarray(keys), self.seed)
-        h1 = (base & np.uint64(0xFFFFFFFF)).astype(np.uint64)
-        h2 = ((base >> np.uint64(32)) | np.uint64(1)).astype(np.uint64)
-        steps = np.arange(self.k, dtype=np.uint64)
-        with np.errstate(over="ignore"):
-            matrix = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(self.n)
-        return matrix.astype(np.int64)
+        return derive_index_matrix(base, self.n, self.k)
+
+    def bulk_items(self, items) -> np.ndarray:
+        """``(len(items), k)`` index matrix for arbitrary stream items.
+
+        Row-identical to calling :meth:`indexes` per item; integer
+        arrays take the fully vectorised path of :meth:`bulk`.
+        """
+        return derive_index_matrix(self.base_hashes_many(items), self.n, self.k)
 
     def bulk_single(self, keys: np.ndarray) -> np.ndarray:
         """Return one index per key (``k`` ignored); used by bitmaps.
@@ -138,8 +205,11 @@ class IndexDeriver:
         probe is ``h1 mod n`` with ``h1`` the low 32 bits of the base.
         """
         base = bulk_base_hashes(np.asarray(keys), self.seed)
-        h1 = base & np.uint64(0xFFFFFFFF)
-        return (h1 % np.uint64(self.n)).astype(np.int64)
+        return derive_index_single(base, self.n)
+
+    def bulk_single_items(self, items) -> np.ndarray:
+        """One index per arbitrary item — array form of ``indexes(x)[0]``."""
+        return derive_index_single(self.base_hashes_many(items), self.n)
 
     def __repr__(self) -> str:
         return f"IndexDeriver(n={self.n}, k={self.k}, seed={self.seed})"

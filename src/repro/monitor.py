@@ -121,11 +121,20 @@ class ItemBatchMonitor:
         for sketch in self._sketches:
             sketch.insert(key, t)
 
+    def observe_many(self, keys, times=None) -> None:
+        """Record a batch of occurrences through every bulk path.
+
+        Semantically identical to calling :meth:`observe` per item
+        (the batch engine is bit-identical to the scalar path), but
+        hashes each key once and applies the updates vectorized.
+        """
+        for sketch in self._sketches:
+            sketch.insert_many(keys, times)
+
     def observe_stream(self, stream) -> None:
         """Feed a whole :class:`~repro.streams.Stream` (bulk paths)."""
         times = stream.times if not self.window.is_count_based else None
-        for sketch in self._sketches:
-            sketch.insert_many(stream.keys, times)
+        self.observe_many(stream.keys, times)
 
     def _require(self, attribute, task):
         sketch = getattr(self, attribute)

@@ -51,6 +51,7 @@ def _payload(sketch) -> dict:
         "now": np.array(sketch.now),
         "items_inserted": np.array(sketch.items_inserted),
         "s": np.array(sketch.s),
+        "engine_min_fused": np.array(sketch.engine.min_fused),
     }
     if kind == "ClockBloomFilter":
         payload["k"] = np.array(sketch.k)
@@ -106,6 +107,8 @@ def _restore(payload) -> object:
     sketch.clock._now = float(payload["now"])
     sketch._now = float(payload["now"])
     sketch._items_inserted = int(payload["items_inserted"])
+    if "engine_min_fused" in payload:  # absent in pre-engine payloads
+        sketch.engine.min_fused = int(payload["engine_min_fused"])
     return sketch
 
 

@@ -1,7 +1,6 @@
 """Tests for the application layer: burst, APT, and ad analytics."""
 
 import numpy as np
-import pytest
 
 from repro.apps import (
     AdAnalytics,

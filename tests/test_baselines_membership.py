@@ -13,7 +13,7 @@ from repro.baselines import (
     snapshot_timestamp_membership,
 )
 from repro.errors import ConfigurationError
-from repro.timebase import count_window, time_window
+from repro.timebase import count_window
 
 
 class TestTimeOutBloomFilter:

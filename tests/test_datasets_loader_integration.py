@@ -4,7 +4,6 @@ Exercises the full user path for real traces: synthesize → save to the
 loader format → reload → run an accuracy measurement on it.
 """
 
-import numpy as np
 
 from repro.bench.harness import activeness_fpr
 from repro.datasets import caida_like

@@ -19,13 +19,13 @@ class TestAllExperimentsRun:
     def test_registry_covers_every_figure_and_table(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig13x", "table3",
+            "fig12", "fig13", "fig13x", "table3", "batch",
             "ablation1", "ablation2", "ablation3", "ablation4", "ablation5",
         }
 
     @pytest.mark.parametrize("name", sorted(
         ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-         "fig12", "fig13", "fig13x", "table3",
+         "fig12", "fig13", "fig13x", "table3", "batch",
          "ablation1", "ablation2", "ablation3", "ablation4", "ablation5"]
     ))
     def test_produces_rows_and_renders(self, results, name):
@@ -94,6 +94,10 @@ class TestShapes:
     def test_table3_simd_fastest(self, results):
         for row in results["table3"].rows:
             assert row["simd_mops"] >= row["single_mops"]
+
+    def test_batch_engine_beats_scalar_loop(self, results):
+        for row in results["batch"].rows:
+            assert row["speedup"] > 1.0
 
     def test_table3_multi_accuracy_close_to_single(self, results):
         for row in results["table3"].rows:

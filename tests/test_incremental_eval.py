@@ -1,7 +1,6 @@
 """Direct tests for the incremental evaluation helpers."""
 
 import numpy as np
-import pytest
 
 from repro.bench.incremental import (
     DEFAULT_QUERY_SAMPLE,

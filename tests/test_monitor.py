@@ -1,6 +1,5 @@
 """Tests for the ItemBatchMonitor facade."""
 
-import numpy as np
 import pytest
 
 from repro import BatchReport, ItemBatchMonitor, count_window, time_window

@@ -11,7 +11,6 @@ its contract against the exact :class:`~repro.streams.BatchTracker`:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

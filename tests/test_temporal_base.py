@@ -60,3 +60,34 @@ class TestTimeBasedTime:
         bf.insert("a", t=2.0)
         bf.insert("b", t=2.0)  # ties are fine; time is non-decreasing
         assert bf.items_inserted == 2
+
+    def test_equal_timestamp_allowed_after_query(self):
+        """Regression: a query pins ``now``; an insert AT that exact
+        time must still be accepted (only strictly smaller is an
+        error)."""
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        bf.insert("a", t=3.0)
+        bf.contains("a", t=5.0)
+        bf.insert("b", t=5.0)  # equal to now — allowed
+        assert bf.items_inserted == 2
+        with pytest.raises(TimeError, match="equal timestamps are allowed"):
+            bf.insert("c", t=4.999)
+
+    def test_batch_run_of_equal_timestamps(self):
+        """Batch ingestion routinely submits runs of tied timestamps;
+        they must be accepted and match the scalar loop."""
+        batch = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        batch.insert_many(["a", "b", "c", "d"], [2.0, 2.0, 2.0, 3.0])
+        scalar = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        for key, t in zip(["a", "b", "c", "d"], [2.0, 2.0, 2.0, 3.0]):
+            scalar.insert(key, t)
+        assert (batch.clock.values == scalar.clock.values).all()
+        assert batch.now == scalar.now == 3.0
+
+    def test_batch_rejects_time_moving_backwards(self):
+        bf = ClockBloomFilter(n=64, k=2, s=2, window=time_window(8.0))
+        bf.insert("a", t=5.0)
+        with pytest.raises(TimeError, match="equal timestamps are allowed"):
+            bf.insert_many(["b"], [4.0])
+        with pytest.raises(TimeError, match="non-decreasing"):
+            bf.insert_many(["b", "c"], [6.0, 5.5])

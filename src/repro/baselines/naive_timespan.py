@@ -19,7 +19,7 @@ import numpy as np
 
 from ..core.base import ClockSketchBase
 from ..core.params import cells_for_memory
-from ..core.timespan import TimeSpanResult
+from ..core.timespan import TimeSpanBatchResult, TimeSpanResult
 from ..errors import ConfigurationError
 from ..hashing import IndexDeriver
 from ..timebase import WindowSpec
@@ -101,6 +101,28 @@ class NaiveTimeSpanSketch(ClockSketchBase):
         achieving = idx[visits == t_f]
         begin = float(np.max(self.batch_start[achieving]))
         return TimeSpanResult(active=True, span=now - begin, begin=begin)
+
+    def query_many(self, items, t=None) -> TimeSpanBatchResult:
+        """Vectorised :meth:`query` over a batch of items.
+
+        Item ``i`` gets exactly the scalar answer: ``t_f`` is the
+        earliest last-visit among its ``k`` cells, the batch is active
+        iff ``t_cur - t_f < T``, and ``begin`` is the latest recorded
+        start among the cells achieving ``t_f``; inactive items hold
+        NaN in both float arrays.
+        """
+        now = self._query_time(t)
+        matrix = self.deriver.bulk_items(items)
+        visits = self.last_visit[matrix]
+        t_f = np.min(visits, axis=1)
+        active = now - t_f < self.window.length
+        starts = np.where(visits == t_f[:, None], self.batch_start[matrix],
+                          -np.inf)
+        begin = np.max(starts, axis=1)
+        span = now - begin
+        begin[~active] = np.nan
+        span[~active] = np.nan
+        return TimeSpanBatchResult(active=active, span=span, begin=begin)
 
     def memory_bits(self) -> int:
         """Accounted footprint: ``n`` cells of 128 bits."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any, Callable
 
 from .errors import ConfigurationError, TimeError
 
@@ -44,26 +45,30 @@ class ThreadSafeSketch:
     A3) measures.
     """
 
-    def __init__(self, sketch, lock: "threading.Lock | None | bool" = True):
+    def __init__(self, sketch: Any,
+                 lock: "threading.Lock | bool | None" = True) -> None:
         self.sketch = sketch
+        self._lock: "threading.Lock | None"
         if lock is True:
             self._lock = threading.Lock()
-        elif lock in (None, False):
+        elif lock is None or lock is False:
             self._lock = None
         else:
             self._lock = lock
 
-    def _guarded(self, fn, *args, **kwargs):
+    def _guarded(self, fn: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> Any:
         if self._lock is None:
             return fn(*args, **kwargs)
         with self._lock:
             return fn(*args, **kwargs)
 
-    def insert(self, item, t=None):
+    def insert(self, item: Any, t: "float | None" = None) -> Any:
         """Locked :meth:`insert` on the wrapped sketch."""
         return self._guarded(self.sketch.insert, item, t)
 
-    def insert_many(self, items, times=None, chunk_size: int = 4096):
+    def insert_many(self, items: Any, times: Any = None,
+                    chunk_size: int = 4096) -> None:
         """Batch ingestion, locking once per ``chunk_size`` items.
 
         Same bit-identical semantics as the wrapped sketch's
@@ -81,23 +86,23 @@ class ThreadSafeSketch:
             self._guarded(self.sketch.insert_many, items[pos:end],
                           chunk_times)
 
-    def contains(self, item, t=None):
+    def contains(self, item: Any, t: "float | None" = None) -> Any:
         """Locked :meth:`contains` (activeness sketches)."""
         return self._guarded(self.sketch.contains, item, t)
 
-    def contains_many(self, items, t=None):
+    def contains_many(self, items: Any, t: "float | None" = None) -> Any:
         """Locked bulk :meth:`contains_many` (activeness sketches)."""
         return self._guarded(self.sketch.contains_many, items, t)
 
-    def query_many(self, items, t=None):
+    def query_many(self, items: Any, t: "float | None" = None) -> Any:
         """Locked bulk :meth:`query_many` on the wrapped sketch."""
         return self._guarded(self.sketch.query_many, items, t)
 
-    def query(self, item, t=None):
+    def query(self, item: Any, t: "float | None" = None) -> Any:
         """Locked :meth:`query` (span/size sketches)."""
         return self._guarded(self.sketch.query, item, t)
 
-    def estimate(self, t=None):
+    def estimate(self, t: "float | None" = None) -> Any:
         """Locked :meth:`estimate` (cardinality sketches)."""
         return self._guarded(self.sketch.estimate, t)
 
@@ -108,13 +113,17 @@ class ThreadSafeSketch:
         cleaner's last view) are ignored rather than raised, matching a
         real free-running cleaner.
         """
-        def _advance():
+        def _advance() -> None:
             if now > self.sketch.clock.now:
                 self.sketch.clock.advance(now)
         self._guarded(_advance)
 
-    def __getattr__(self, name):
-        return getattr(self.sketch, name)
+    def __getattr__(self, name: str) -> Any:
+        # Deliberately lock-free: this forwards reads of immutable
+        # configuration (window, n, s, memory_bits, ...). Anything that
+        # mutates or reads mutable state has an explicit locked method
+        # above.
+        return getattr(self.sketch, name)  # sketchlint: lockfree-ok
 
 
 class BackgroundCleaner:
@@ -133,7 +142,8 @@ class BackgroundCleaner:
         positive). Inject a fake for deterministic tests.
     """
 
-    def __init__(self, sketch, interval: float = 0.01, time_source=None):
+    def __init__(self, sketch: Any, interval: float = 0.01,
+                 time_source: "Callable[[], float] | None" = None) -> None:
         if interval <= 0:
             raise ConfigurationError(f"interval must be positive, got {interval}")
         window = getattr(sketch, "window", None)
@@ -147,7 +157,7 @@ class BackgroundCleaner:
         if time_source is None:
             origin = time.monotonic()
             time_source = lambda: time.monotonic() - origin + 1.0  # noqa: E731
-        self.now = time_source
+        self.now: "Callable[[], float]" = time_source
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
         self.ticks = 0
@@ -187,5 +197,5 @@ class BackgroundCleaner:
     def __enter__(self) -> "BackgroundCleaner":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

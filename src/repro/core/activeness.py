@@ -48,6 +48,9 @@ class ClockBloomFilter(ClockSketchBase):
     sweep_mode:
         ``"vector"`` or ``"scalar"`` cleaning (see
         :class:`~repro.core.clockarray.ClockArray`).
+    sanitize:
+        Wrap this instance with the runtime invariant checks of
+        :mod:`repro.qa.sanitizer` (see ``docs/qa.md``).
 
     Examples
     --------
@@ -59,7 +62,8 @@ class ClockBloomFilter(ClockSketchBase):
     """
 
     def __init__(self, n: int, k: int, s: int, window: WindowSpec,
-                 seed: int = 0, sweep_mode: str = "vector"):
+                 seed: int = 0, sweep_mode: str = "vector",
+                 sanitize: bool = False):
         super().__init__(window)
         self.s = int(s)
         self.k = int(k)
@@ -67,6 +71,9 @@ class ClockBloomFilter(ClockSketchBase):
         self.deriver = IndexDeriver(n=n, k=k, seed=seed)
         self.seed = seed
         self.engine = BatchEngine(self)
+        if sanitize:
+            from ..qa.sanitizer import sanitize_sketch
+            sanitize_sketch(self)
 
     @classmethod
     def from_memory(cls, memory, window: WindowSpec, s: int = OPTIMAL_S_MEMBERSHIP,
@@ -126,6 +133,10 @@ class ClockBloomFilter(ClockSketchBase):
         index_matrix = self.deriver.bulk_items(items)
         return np.all(self.clock.values[index_matrix] > 0, axis=1)
 
+    def query(self, item, t=None) -> bool:
+        """Scalar query alias: activeness of one item (see :meth:`contains`)."""
+        return self.contains(item, t)
+
     def query_many(self, items, t=None) -> np.ndarray:
         """Batch query alias: activeness per item (see :meth:`contains_many`)."""
         return self.contains_many(items, t)
@@ -160,7 +171,7 @@ def snapshot_membership(
     it active at ``t_query``. Exactly matches the incremental
     :class:`ClockBloomFilter` on the same inputs.
     """
-    keys = np.asarray(keys)
+    keys = np.asarray(keys, dtype=np.int64)
     deriver = IndexDeriver(n=n, k=k, seed=seed)
     probe = ClockArray(n, s, window)  # used only for its step arithmetic
     max_value = probe.max_value
@@ -189,5 +200,5 @@ def snapshot_membership(
         last_set[touched], touched, n, max_value, query_steps
     )
 
-    query_matrix = deriver.bulk(np.asarray(query_keys))
+    query_matrix = deriver.bulk(np.asarray(query_keys, dtype=np.int64))
     return np.all(values[query_matrix] > 0, axis=1)

@@ -79,13 +79,16 @@ class ClockBitmap(ClockSketchBase):
     """
 
     def __init__(self, n: int, s: int, window: WindowSpec, seed: int = 0,
-                 sweep_mode: str = "vector"):
+                 sweep_mode: str = "vector", sanitize: bool = False):
         super().__init__(window)
         self.s = int(s)
         self.clock = ClockArray(n, s, window, sweep_mode=sweep_mode)
         self.deriver = IndexDeriver(n=n, k=1, seed=seed)
         self.seed = seed
         self.engine = BatchEngine(self)
+        if sanitize:
+            from ..qa.sanitizer import sanitize_sketch
+            sanitize_sketch(self)
 
     @classmethod
     def from_memory(cls, memory, window: WindowSpec,
@@ -109,7 +112,7 @@ class ClockBitmap(ClockSketchBase):
         """
         now = self._insert_time(t)
         self.clock.advance(now)
-        self.clock.values[self.deriver.indexes(item)[0]] = self.clock.max_value
+        self.clock.touch(self.deriver.indexes(item)[:1])
 
     def insert_many(self, items, times=None) -> None:
         """Insert a batch of items through the batch engine.
@@ -121,6 +124,17 @@ class ClockBitmap(ClockSketchBase):
         """
         cells = self.deriver.bulk_single_items(items)
         self.engine.ingest_touch(cells.reshape(-1, 1), times)
+
+    def query(self, item, t=None) -> bool:
+        """Scalar twin of :meth:`query_many`: is the item's single cell live?
+
+        Subject to the same free aliasing — this is a bitmap, not a
+        filter — but matching the batch API keeps every sketch's
+        scalar/batch surface symmetric.
+        """
+        now = self._query_time(t)
+        self.clock.advance(now)
+        return self.clock.are_nonzero(self.deriver.indexes(item)[:1])
 
     def query_many(self, items, t=None) -> np.ndarray:
         """Crude per-item activity view: is each item's single cell live?
@@ -164,7 +178,7 @@ def snapshot_cardinality(
     Equivalent to inserting ``keys`` into a :class:`ClockBitmap` and
     calling :meth:`ClockBitmap.estimate` at ``t_query``.
     """
-    keys = np.asarray(keys)
+    keys = np.asarray(keys, dtype=np.int64)
     deriver = IndexDeriver(n=n, k=1, seed=seed)
     probe = ClockArray(n, s, window)
 

@@ -38,7 +38,27 @@ import numpy as np
 from ..errors import ConfigurationError, TimeError
 from ..timebase import WindowSpec
 
-__all__ = ["ClockArray", "dtype_for_bits", "snapshot_values", "sweep_hits"]
+__all__ = ["ClockArray", "circles_per_window_for", "dtype_for_bits",
+           "max_value_for", "snapshot_values", "sweep_hits"]
+
+
+def max_value_for(s: int) -> int:
+    """Maximum value of an ``s``-bit clock cell, ``2^s - 1``.
+
+    The one place the repo computes this constant — everything outside
+    :mod:`clockarray` goes through here (or an instance's
+    ``max_value``) instead of repeating the bit arithmetic.
+    """
+    return (1 << s) - 1
+
+
+def circles_per_window_for(s: int) -> int:
+    """Cleaning circles per window for ``s``-bit cells, ``2^s - 2``.
+
+    The cleaner sweeps one full circle every ``T / (2^s - 2)`` time
+    units — the paper's error window denominator.
+    """
+    return (1 << s) - 2
 
 
 def dtype_for_bits(s: int) -> np.dtype:
@@ -127,8 +147,8 @@ class ClockArray:
         self.n = int(n)
         self.s = int(s)
         self.window = window
-        self.max_value = (1 << s) - 1
-        self.circles_per_window = (1 << s) - 2
+        self.max_value = max_value_for(s)
+        self.circles_per_window = circles_per_window_for(s)
         self.values = np.zeros(self.n, dtype=dtype_for_bits(s))
         self.on_expire = on_expire
         self.sweep_mode = sweep_mode
@@ -289,6 +309,30 @@ class ClockArray:
     def touch(self, indexes) -> None:
         """Set the given cells to the maximum clock value (an insert)."""
         self.values[indexes] = self.max_value
+
+    def load_values(self, image) -> None:
+        """Adopt a complete cell image, validating shape and range.
+
+        The write-API twin of reading ``values``: the fused batch
+        engine computes whole post-sweep images in closed form, and
+        deserialisation restores saved ones — both land here instead of
+        writing the buffer directly, so an out-of-range or mis-shaped
+        image is rejected before it can corrupt the array.
+        """
+        # Keep the caller's dtype so the range check sees the image as
+        # handed in, before any cast could wrap it.
+        image = np.asarray(image)  # sketchlint: dtype-ok
+        if image.shape != (self.n,):
+            raise ConfigurationError(
+                f"cell image shape {image.shape} does not match "
+                f"({self.n},)"
+            )
+        if image.size and (int(image.max()) > self.max_value
+                           or int(image.min()) < 0):
+            raise ConfigurationError(
+                f"cell image holds values outside [0, {self.max_value}]"
+            )
+        self.values[:] = image.astype(self.values.dtype)
 
     def are_nonzero(self, indexes) -> bool:
         """True if every given cell currently holds a non-zero clock."""

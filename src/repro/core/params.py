@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 
 from ..errors import ConfigurationError
+from .clockarray import circles_per_window_for
 
 __all__ = [
     "active_load",
@@ -34,7 +35,7 @@ def active_load(window_length: float, s: int) -> float:
     """
     if s < 2:
         raise ConfigurationError(f"clock cell size must be >= 2, got {s}")
-    return window_length * (1.0 + 1.0 / (2.0 * ((1 << s) - 2)))
+    return window_length * (1.0 + 1.0 / (2.0 * circles_per_window_for(s)))
 
 
 def optimal_k_membership(n: int, window_length: float, s: int) -> int:

@@ -53,6 +53,9 @@ class ClockCountMin(ClockSketchBase):
         which keeps the estimate an overestimate while shrinking
         collision error — a classic Count-Min refinement the paper
         leaves on the table (measured in the A5 ablation).
+    sanitize:
+        Wrap this instance with the runtime invariant checks of
+        :mod:`repro.qa.sanitizer` (see ``docs/qa.md``).
 
     Examples
     --------
@@ -66,7 +69,8 @@ class ClockCountMin(ClockSketchBase):
 
     def __init__(self, width: int, depth: int, s: int, window: WindowSpec,
                  counter_bits: int = DEFAULT_COUNTER_BITS, seed: int = 0,
-                 sweep_mode: str = "vector", conservative: bool = False):
+                 sweep_mode: str = "vector", conservative: bool = False,
+                 sanitize: bool = False):
         super().__init__(window)
         self.conservative = bool(conservative)
         if depth < 1:
@@ -94,6 +98,9 @@ class ClockCountMin(ClockSketchBase):
         ]
         self.seed = seed
         self.engine = BatchEngine(self)
+        if sanitize:
+            from ..qa.sanitizer import sanitize_sketch
+            sanitize_sketch(self)
 
     def _clear_cells(self, expired: np.ndarray) -> None:
         self.counters[expired] = 0

@@ -92,7 +92,8 @@ class ClockTimeSpanSketch(ClockSketchBase):
     """
 
     def __init__(self, n: int, k: int, s: int, window: WindowSpec,
-                 seed: int = 0, sweep_mode: str = "vector"):
+                 seed: int = 0, sweep_mode: str = "vector",
+                 sanitize: bool = False):
         super().__init__(window)
         self.s = int(s)
         self.k = int(k)
@@ -103,6 +104,9 @@ class ClockTimeSpanSketch(ClockSketchBase):
         self.deriver = IndexDeriver(n=n, k=k, seed=seed)
         self.seed = seed
         self.engine = BatchEngine(self)
+        if sanitize:
+            from ..qa.sanitizer import sanitize_sketch
+            sanitize_sketch(self)
 
     def _clear_cells(self, expired: np.ndarray) -> None:
         self.timestamps[expired] = 0.0

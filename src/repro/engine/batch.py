@@ -73,9 +73,14 @@ class BatchEngine:
         self._commit(times_arr)
 
     def _ingest_loop(self, times_arr: np.ndarray, apply_one) -> None:
-        """Reference path: per-item advance + cell writes, then commit."""
+        """Reference path: per-item advance + cell writes, then commit.
+
+        This is the library's one deliberate scalar loop over a stream
+        batch — the semantic ground truth the fused path is
+        property-tested against.
+        """
         clock = self.sketch.clock
-        for i, now in enumerate(times_arr):
+        for i, now in enumerate(times_arr):  # sketchlint: scalar-ok
             now = float(now)
             clock.advance(now)
             apply_one(i, now)
@@ -123,11 +128,9 @@ class BatchEngine:
         if not count:
             return
         if clock.is_deferred:
-            values = clock.values
-            max_value = clock.max_value
 
             def scatter(pos, end):
-                values[index_matrix[pos:end].ravel()] = max_value
+                clock.touch(index_matrix[pos:end].ravel())
 
             self._ingest_deferred(times_arr, scatter)
         elif count >= self.min_fused:
@@ -158,8 +161,6 @@ class BatchEngine:
             raise TimeError("time-span sketch requires positive stream times")
         k = index_matrix.shape[1]
         if clock.is_deferred:
-            values = clock.values
-            max_value = clock.max_value
 
             def scatter(pos, end):
                 stamps = times_arr[pos:end]
@@ -169,11 +170,11 @@ class BatchEngine:
                 # (working over the chunk's unique cells keeps this
                 # O(chunk)).
                 uniq, inverse = np.unique(flats, return_inverse=True)
-                firsts = np.full(uniq.size, np.inf)
+                firsts = np.full(uniq.size, np.inf, dtype=np.float64)
                 np.minimum.at(firsts, inverse, np.repeat(stamps, k))
                 empty = timestamps[uniq] == 0.0
                 timestamps[uniq[empty]] = firsts[empty]
-                values[flats] = max_value
+                clock.touch(flats)
 
             self._ingest_deferred(times_arr, scatter)
         elif count >= self.min_fused:
@@ -214,8 +215,6 @@ class BatchEngine:
         if not count:
             return
         if clock.is_deferred and not sketch.conservative:
-            values = clock.values
-            max_value = clock.max_value
             counter_max = sketch.counter_max
 
             def scatter(pos, end):
@@ -227,7 +226,7 @@ class BatchEngine:
                 over = touched[counters[touched] > counter_max]
                 if over.size:
                     counters[over] = counter_max
-                values[flats] = max_value
+                clock.touch(flats)
 
             self._ingest_deferred(times_arr, scatter)
         elif not sketch.conservative and count >= self.min_fused:

@@ -122,7 +122,7 @@ def fuse_touch(clock, cells: np.ndarray, steps: np.ndarray,
     decayed[touched] = snapshot_values(
         last_set[touched], touched, clock.n, clock.max_value, end_steps
     )
-    clock.values[:] = decayed.astype(clock.values.dtype)
+    clock.load_values(decayed)
 
 
 def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
@@ -155,7 +155,7 @@ def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
     timestamps[seg_cells] = ts_new
 
     decayed[seg_cells] = segs.final_values
-    clock.values[:] = decayed.astype(clock.values.dtype)
+    clock.load_values(decayed)
 
 
 def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
@@ -187,4 +187,4 @@ def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
     counters[seg_cells] = ctr_new.astype(counters.dtype)
 
     decayed[seg_cells] = segs.final_values
-    clock.values[:] = decayed.astype(clock.values.dtype)
+    clock.load_values(decayed)

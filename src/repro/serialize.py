@@ -10,6 +10,8 @@ position, so a restored sketch continues bit-for-bit where it stopped.
 from __future__ import annotations
 
 import io
+import os
+from typing import IO, Any, Mapping, Union
 
 import numpy as np
 
@@ -19,15 +21,20 @@ from .timebase import WindowKind, WindowSpec
 
 __all__ = ["dump_sketch", "dumps_sketch", "load_sketch", "loads_sketch"]
 
-_KINDS = {
+#: The union of serialisable sketch types.
+Sketch = Union[ClockBloomFilter, ClockBitmap, ClockCountMin, ClockTimeSpanSketch]
+
+_KINDS: "dict[str, type]" = {
     "ClockBloomFilter": ClockBloomFilter,
     "ClockBitmap": ClockBitmap,
     "ClockCountMin": ClockCountMin,
     "ClockTimeSpanSketch": ClockTimeSpanSketch,
 }
 
+_PathOrFile = Union[str, "os.PathLike[str]", IO[bytes]]
 
-def _window_fields(window: WindowSpec):
+
+def _window_fields(window: WindowSpec) -> "tuple[float, str]":
     return window.length, window.kind.value
 
 
@@ -35,12 +42,12 @@ def _build_window(length: float, kind: str) -> WindowSpec:
     return WindowSpec(length=length, kind=WindowKind(kind))
 
 
-def _payload(sketch) -> dict:
+def _payload(sketch: Sketch) -> "dict[str, Any]":
     kind = type(sketch).__name__
     if kind not in _KINDS:
         raise ConfigurationError(f"cannot serialise {kind}")
     length, wkind = _window_fields(sketch.window)
-    payload = {
+    payload: "dict[str, Any]" = {
         "kind": np.array(kind),
         "window_length": np.array(length),
         "window_kind": np.array(wkind),
@@ -53,31 +60,32 @@ def _payload(sketch) -> dict:
         "s": np.array(sketch.s),
         "engine_min_fused": np.array(sketch.engine.min_fused),
     }
-    if kind == "ClockBloomFilter":
+    if isinstance(sketch, ClockBloomFilter):
         payload["k"] = np.array(sketch.k)
         payload["n"] = np.array(sketch.n)
-    elif kind == "ClockBitmap":
+    elif isinstance(sketch, ClockBitmap):
         payload["n"] = np.array(sketch.n)
-    elif kind == "ClockCountMin":
+    elif isinstance(sketch, ClockCountMin):
         payload["width"] = np.array(sketch.width)
         payload["depth"] = np.array(sketch.depth)
         payload["counter_bits"] = np.array(sketch.counter_bits)
         payload["conservative"] = np.array(sketch.conservative)
         payload["counters"] = sketch.counters
-    elif kind == "ClockTimeSpanSketch":
+    elif isinstance(sketch, ClockTimeSpanSketch):
         payload["k"] = np.array(sketch.k)
         payload["n"] = np.array(sketch.n)
         payload["timestamps"] = sketch.timestamps
     return payload
 
 
-def _restore(payload) -> object:
+def _restore(payload: "Mapping[str, Any]") -> Sketch:
     kind = str(payload["kind"])
     window = _build_window(float(payload["window_length"]),
                            str(payload["window_kind"]))
     seed = int(payload["seed"])
     sweep_mode = str(payload["sweep_mode"])
     s = int(payload["s"])
+    sketch: Sketch
     if kind == "ClockBloomFilter":
         sketch = ClockBloomFilter(n=int(payload["n"]), k=int(payload["k"]),
                                   s=s, window=window, seed=seed,
@@ -102,7 +110,7 @@ def _restore(payload) -> object:
         sketch.timestamps[:] = payload["timestamps"]
     else:
         raise ConfigurationError(f"cannot restore sketch kind {kind!r}")
-    sketch.clock.values[:] = payload["clock_values"]
+    sketch.clock.load_values(payload["clock_values"])
     sketch.clock._steps_done = int(payload["steps_done"])
     sketch.clock._now = float(payload["now"])
     sketch._now = float(payload["now"])
@@ -112,25 +120,25 @@ def _restore(payload) -> object:
     return sketch
 
 
-def dump_sketch(sketch, path) -> None:
+def dump_sketch(sketch: Sketch, path: _PathOrFile) -> None:
     """Serialise a sketch to an ``.npz`` file."""
     np.savez_compressed(path, **_payload(sketch))
 
 
-def dumps_sketch(sketch) -> bytes:
+def dumps_sketch(sketch: Sketch) -> bytes:
     """Serialise a sketch to bytes (for network transfer)."""
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **_payload(sketch))
     return buffer.getvalue()
 
 
-def load_sketch(path):
+def load_sketch(path: _PathOrFile) -> Sketch:
     """Restore a sketch from an ``.npz`` file."""
     with np.load(path, allow_pickle=False) as payload:
         return _restore(payload)
 
 
-def loads_sketch(data: bytes):
+def loads_sketch(data: bytes) -> Sketch:
     """Restore a sketch from bytes produced by :func:`dumps_sketch`."""
     with np.load(io.BytesIO(data), allow_pickle=False) as payload:
         return _restore(payload)

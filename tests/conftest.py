@@ -3,7 +3,30 @@
 import numpy as np
 import pytest
 
+from repro.qa import sanitizer
 from repro.timebase import count_window, time_window
+
+# The lint fixture corpus is deliberately full of violations (and one
+# file of deliberate syntax errors); it is test *data*, not tests.
+collect_ignore_glob = ["qa_fixtures/*"]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_sanitizer():
+    """Run the whole suite under the invariant sanitizer when asked.
+
+    ``REPRO_SANITIZE=1 python -m pytest`` patches every ClockArray and
+    sketch with runtime invariant checks for the session (see
+    ``docs/qa.md``); without the flag this fixture is a no-op.
+    """
+    if not sanitizer.enabled():
+        yield
+        return
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
 
 
 @pytest.fixture

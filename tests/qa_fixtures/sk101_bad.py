@@ -1,0 +1,24 @@
+"""SK101 bad: per-item Python loops over stream batches.
+
+Linted by ``tests/test_qa_lint.py`` under a virtual hot-path module
+path; every loop below must be flagged.
+"""
+
+
+def ingest(items, sketch):
+    for item in items:
+        sketch.insert(item)
+
+
+def hash_all(keys):
+    out = []
+    for i, key in enumerate(keys):
+        out.append((i, hash(key)))
+    return [hash(key) for key in keys]
+
+
+def by_index(times):
+    total = 0.0
+    for i in range(len(times)):
+        total += times[i]
+    return total

@@ -1,0 +1,23 @@
+"""SK101 good: vectorised stream handling and legitimate scalar loops."""
+
+import numpy as np
+
+
+def ingest(items, sketch):
+    sketch.insert_many(np.asarray(items, dtype=np.int64))
+
+
+def per_row(matrix):
+    # Not a stream-batch name: row-bounded work is fine.
+    for row in matrix:
+        row.sum()
+
+
+def reference(items, sketch):
+    # A documented scalar reference path.
+    for item in items:  # sketchlint: scalar-ok
+        sketch.insert(item)
+
+
+def bounded(k):
+    return [seed * 3 for seed in range(k)]

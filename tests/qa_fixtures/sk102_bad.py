@@ -1,0 +1,11 @@
+"""SK102 bad: numpy array constructions without an explicit dtype."""
+
+import numpy as np
+
+
+def build(n):
+    cells = np.zeros(n)
+    steps = np.array([1, 2, 3])
+    ramp = np.arange(n)
+    filled = np.full(n, 7)
+    return cells, steps, ramp, filled

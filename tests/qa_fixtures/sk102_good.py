@@ -1,0 +1,12 @@
+"""SK102 good: every construction pins its dtype (or is suppressed)."""
+
+import numpy as np
+
+
+def build(n):
+    cells = np.zeros(n, dtype=np.uint8)
+    steps = np.array([1, 2, 3], dtype=np.int64)
+    ramp = np.arange(0, n, 1, np.int64)
+    image = np.asarray(cells)  # sketchlint: dtype-ok
+    reshaped = np.reshape(cells, (-1,))
+    return cells, steps, ramp, image, reshaped

@@ -1,0 +1,16 @@
+"""SK103 bad: raw clock arithmetic and direct clock-cell writes."""
+
+
+def widths(s):
+    return (1 << s) - 1
+
+
+def overwrite(clock, idxs, image):
+    clock.values[idxs] = 3
+    clock.values[:] = image
+
+
+def aliased(clock, idxs):
+    values = clock.values
+    values[idxs] = 0
+    values[0] += 1

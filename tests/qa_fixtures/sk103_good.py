@@ -1,0 +1,21 @@
+"""SK103 good: all cell mutation goes through the ClockArray API."""
+
+
+def widths(clock):
+    return clock.max_value
+
+
+def refresh(clock, idxs):
+    clock.touch(idxs)
+
+
+def restore(clock, image):
+    clock.load_values(image)
+
+
+def reads_are_fine(clock, idxs):
+    return clock.values[idxs]
+
+
+def legacy(clock, image):
+    clock.values[:] = image  # sketchlint: raw-clock-ok

@@ -1,0 +1,13 @@
+"""SK104 bad: ThreadSafeSketch touching the wrapped sketch unlocked."""
+
+
+class ThreadSafeSketch:
+    def __init__(self, sketch):
+        self.sketch = sketch
+        self._lock = None
+
+    def insert(self, item):
+        return self.sketch.insert(item)
+
+    def peek(self):
+        return self.sketch.clock.now

@@ -1,0 +1,26 @@
+"""SK104 good: every sketch access is locked, guarded, or documented."""
+
+
+class ThreadSafeSketch:
+    def __init__(self, sketch, lock):
+        self.sketch = sketch
+        self._lock = lock
+
+    def _guarded(self, fn, *args):
+        with self._lock:
+            return fn(*args)
+
+    def insert(self, item):
+        return self._guarded(self.sketch.insert, item)
+
+    def query(self, item):
+        with self._lock:
+            return self.sketch.query(item)
+
+    def advance_clock(self, now):
+        def _advance():
+            self.sketch.clock.advance(now)
+        self._guarded(_advance)
+
+    def window(self):
+        return self.sketch.window  # sketchlint: lockfree-ok

@@ -1,0 +1,21 @@
+"""SK105 bad: temporal-base subclasses with half an API pair."""
+
+
+class ClockSketchBase:
+    pass
+
+
+class HalfSketch(ClockSketchBase):
+    def insert(self, item):
+        pass
+
+    def query(self, item):
+        pass
+
+    def query_many(self, items):
+        pass
+
+
+class DeeperSketch(HalfSketch):
+    def contains(self, item):
+        pass

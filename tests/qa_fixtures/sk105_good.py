@@ -1,0 +1,30 @@
+"""SK105 good: matched pairs, unrelated classes, documented halves."""
+
+
+class ClockSketchBase:
+    pass
+
+
+class FullSketch(ClockSketchBase):
+    def insert(self, item):
+        pass
+
+    def insert_many(self, items):
+        pass
+
+    def query(self, item):
+        pass
+
+    def query_many(self, items):
+        pass
+
+
+class Helper:
+    # Not a temporal-base subclass: unpaired methods are fine.
+    def insert(self, item):
+        pass
+
+
+class AggregateOnly(ClockSketchBase):  # sketchlint: pair-ok
+    def insert(self, item):
+        pass

@@ -62,10 +62,13 @@ class TestThreadSafeSketch:
 
         def writer(offset):
             for i in range(200):
+                # Timestamp issuance must be atomic with the insert:
+                # releasing the lock in between lets another thread
+                # insert a later timestamp first, and the sketch
+                # correctly rejects time moving backwards.
                 with lock:
                     clock.advance(0.001)
-                    t = clock()
-                shared.insert(offset + i, t=t)
+                    shared.insert(offset + i, t=clock())
 
         threads = [threading.Thread(target=writer, args=(w * 1000,))
                    for w in range(4)]

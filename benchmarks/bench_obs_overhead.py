@@ -1,0 +1,63 @@
+"""Observability overhead — metrics-enabled vs disabled batch ingest.
+
+Not a paper figure: this enforces :mod:`repro.obs`'s documented budget
+(enabled-mode overhead under ``OVERHEAD_BUDGET_PCT`` = 10% on the
+1M-item chunked batch-ingest workload; see docs/observability.md). It
+also archives a full JSON metrics snapshot from the instrumented run —
+CI uploads it as a workflow artifact.
+
+Set ``OBS_BENCH_QUICK=1`` to run the reduced stream (CI's obs-overhead
+job does; the budget assertion is the same).
+
+The budget check retries up to ``MAX_ATTEMPTS`` measurements before
+failing: the per-chunk-median estimator discards transient spikes, but
+whole-process effects (allocator layout, cache aliasing, a busy
+neighbour for the full run) can inflate one measurement end to end.
+Noise only ever *adds* apparent overhead, so the minimum over attempts
+converges toward the true cost — a genuine budget regression fails all
+attempts.
+"""
+
+import json
+import os
+
+from repro.bench.experiments import obs_overhead
+
+from conftest import RESULTS_DIR, run_once
+
+MAX_ATTEMPTS = 3
+
+
+def _worst(result):
+    return max(row["overhead_pct"] for row in result.rows)
+
+
+def test_obs_overhead(benchmark, record_result):
+    quick = bool(os.environ.get("OBS_BENCH_QUICK"))
+    result = run_once(benchmark, obs_overhead.run, seed=1, quick=quick)
+    for _ in range(MAX_ATTEMPTS - 1):
+        if _worst(result) <= result.extras["budget_pct"]:
+            break
+        retry = obs_overhead.run(seed=1, quick=quick)
+        if _worst(retry) < _worst(result):
+            result = retry
+    record_result("obs_overhead", result)
+
+    payload = {
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
+        "budget_pct": result.extras["budget_pct"],
+    }
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+    (RESULTS_DIR / "BENCH_obs_metrics.json").write_text(
+        json.dumps(result.extras["snapshot"], indent=2, sort_keys=True)
+        + "\n")
+
+    budget = result.extras["budget_pct"]
+    for row in result.rows:
+        assert row["overhead_pct"] <= budget, (
+            f"{row['variant']}: obs overhead {row['overhead_pct']:.1f}% "
+            f"exceeds the {budget:.0f}% budget"
+        )

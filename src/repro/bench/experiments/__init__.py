@@ -22,6 +22,7 @@ from . import (
     batch_throughput,
     fig13_cache_hitrate,
     fig13x_cache_policies,
+    obs_overhead,
     table3_throughput,
 )
 
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "fig13x": fig13x_cache_policies.run,
     "table3": table3_throughput.run,
     "batch": batch_throughput.run,
+    "obs": obs_overhead.run,
     "ablation1": ablation_error_window.run,
     "ablation2": ablation_hashing.run,
     "ablation3": ablation_deferred.run,

@@ -37,6 +37,8 @@ from ..core.cardinality import snapshot_cardinality
 from ..core.params import cells_for_memory, optimal_k_membership
 from ..datasets import get_dataset
 from ..errors import ConfigurationError
+from ..obs import runtime as _obs
+from ..obs.names import BENCH_STAGE_SECONDS
 from ..streams import Stream, split_active_inactive
 from ..timebase import WindowSpec
 
@@ -73,6 +75,10 @@ class ExperimentResult:
     columns: "list[str]"
     rows: "list[dict]" = field(default_factory=list)
     notes: "list[str]" = field(default_factory=list)
+    #: Free-form side data (e.g. an obs metrics snapshot) that riders
+    #: like the benchmark artifact upload can carry without touching
+    #: the tabular schema.
+    extras: dict = field(default_factory=dict)
 
     def add(self, **row) -> None:
         """Append one result row."""
@@ -91,9 +97,17 @@ class ExperimentResult:
         return {row[key_column]: row[value_column] for row in self.rows}
 
     def to_csv(self, path) -> None:
-        """Write the rows as CSV (for plotting outside the library)."""
-        import csv
+        """Write the rows as CSV (for plotting outside the library).
 
+        Creates missing parent directories, so a fresh results path
+        (``results/run1/fig5.csv``) works without preparation.
+        """
+        import csv
+        import os
+
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=self.columns,
                                     extrasaction="ignore", restval="")
@@ -137,6 +151,7 @@ def format_table(rows: "list[dict]", columns: "list[str]") -> str:
 _TRACE_CACHE: "dict[tuple, Stream]" = {}
 
 
+@_obs.timed(BENCH_STAGE_SECONDS, {"stage": "trace"})
 def cached_trace(dataset: str, n_items: int, window_hint: float,
                  seed: int = 1) -> Stream:
     """Synthesize (once) and cache a dataset trace."""
@@ -153,6 +168,7 @@ def effective_times(stream: Stream, window: WindowSpec) -> np.ndarray:
     return stream.effective_times(window.is_count_based)
 
 
+@_obs.timed(BENCH_STAGE_SECONDS, {"stage": "inserts"})
 def drive_inserts(sketch, keys, times=None, scalar: bool = False) -> None:
     """Feed a key stream into a sketch through either ingestion path.
 
@@ -204,6 +220,7 @@ def _snapshot_times(times: np.ndarray, window: WindowSpec):
     return None if window.is_count_based else times
 
 
+@_obs.timed(BENCH_STAGE_SECONDS, {"stage": "activeness_fpr"})
 def activeness_fpr(algorithm: str, stream: Stream, window: WindowSpec,
                    memory_bits: int, t_query: "float | None" = None,
                    s: int = 2, k: "int | None" = None, seed: int = 0,
@@ -285,6 +302,7 @@ def true_cardinality(stream: Stream, window: WindowSpec,
     return int(active.size)
 
 
+@_obs.timed(BENCH_STAGE_SECONDS, {"stage": "cardinality_estimate"})
 def cardinality_estimate(algorithm: str, stream: Stream, window: WindowSpec,
                          memory_bits: int, t_query: "float | None" = None,
                          s: "int | None" = None,

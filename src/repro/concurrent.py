@@ -31,6 +31,7 @@ import time
 from typing import Any, Callable
 
 from .errors import ConfigurationError, TimeError
+from .obs import runtime as _obs
 
 __all__ = ["ThreadSafeSketch", "BackgroundCleaner"]
 
@@ -58,9 +59,25 @@ class ThreadSafeSketch:
 
     def _guarded(self, fn: Callable[..., Any], *args: Any,
                  **kwargs: Any) -> Any:
-        if self._lock is None:
+        lock = self._lock
+        if lock is None:
             return fn(*args, **kwargs)
-        with self._lock:
+        if _obs.ENABLED:
+            # Distinguish contended acquisitions: a failed non-blocking
+            # attempt means another thread holds the lock, so time the
+            # blocking wait that follows.
+            if lock.acquire(blocking=False):
+                _obs.record_lock(0.0, contended=False)
+            else:
+                started = time.perf_counter()
+                lock.acquire()
+                _obs.record_lock(time.perf_counter() - started,
+                                 contended=True)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                lock.release()
+        with lock:
             return fn(*args, **kwargs)
 
     def insert(self, item: Any, t: "float | None" = None) -> Any:

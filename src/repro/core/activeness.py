@@ -21,6 +21,7 @@ import numpy as np
 
 from ..engine import BatchEngine
 from ..hashing import IndexDeriver
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
@@ -144,6 +145,24 @@ class ClockBloomFilter(ClockSketchBase):
     def memory_bits(self) -> int:
         """Accounted footprint in bits (clock cells only, per §4.1)."""
         return self.clock.memory_bits()
+
+    def metrics(self) -> dict:
+        """Operational snapshot; publishes gauges while obs is enabled."""
+        fill = self.clock.fill_ratio()
+        if _obs.ENABLED:
+            name = type(self).__name__
+            _obs.publish_sketch(name, self.memory_bits(), fill)
+            _obs.sample_clock(self.clock, labels={"sketch": name})
+        return {
+            "task": "activeness",
+            "sketch": type(self).__name__,
+            "memory_bits": self.memory_bits(),
+            "items_inserted": self.items_inserted,
+            "fill_ratio": fill,
+            "k": self.k,
+            "s": self.s,
+            "sweep": self.clock.sweep_telemetry(),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError, TimeError
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 
 
@@ -58,6 +59,8 @@ class ClockSketchBase:
                 )
             self._items_inserted += 1
             self._now = float(self._items_inserted)
+            if _obs.ENABLED:
+                _obs.record_insert(type(self).__name__)
             return self._now
         if t is None:
             raise TimeError("time-based sketches require an insert timestamp")
@@ -68,6 +71,8 @@ class ClockSketchBase:
             )
         self._items_inserted += 1
         self._now = float(t)
+        if _obs.ENABLED:
+            _obs.record_insert(type(self).__name__)
         return self._now
 
     def _insert_times_many(self, count: int, times) -> np.ndarray:
@@ -121,6 +126,8 @@ class ClockSketchBase:
         inserts continue from the queried instant (the stream idled).
         """
         if t is None:
+            if _obs.ENABLED:
+                _obs.record_query(type(self).__name__)
             return self._now
         if self.window.is_count_based and t != int(t):
             raise TimeError(f"count-based query time must be an integer, got {t}")
@@ -129,4 +136,6 @@ class ClockSketchBase:
         self._now = float(t)
         if self.window.is_count_based:
             self._items_inserted = max(self._items_inserted, int(t))
+        if _obs.ENABLED:
+            _obs.record_query(type(self).__name__)
         return self._now

@@ -17,6 +17,7 @@ import numpy as np
 from ..engine import BatchEngine
 from ..errors import EstimatorSaturatedError
 from ..hashing import IndexDeriver
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
@@ -158,6 +159,31 @@ class ClockBitmap(ClockSketchBase):
     def memory_bits(self) -> int:
         """Accounted footprint in bits."""
         return self.clock.memory_bits()
+
+    def metrics(self) -> dict:
+        """Operational snapshot; publishes gauges while obs is enabled.
+
+        Reads the current cell state without advancing the clock (a
+        metrics scrape must not perturb the structure), so the embedded
+        estimate reflects the last operation's time.
+        """
+        fill = self.clock.fill_ratio()
+        estimate = linear_counting_estimate(self.clock.count_zero(), self.n)
+        if _obs.ENABLED:
+            name = type(self).__name__
+            _obs.publish_sketch(name, self.memory_bits(), fill)
+            _obs.sample_clock(self.clock, labels={"sketch": name})
+        return {
+            "task": "cardinality",
+            "sketch": type(self).__name__,
+            "memory_bits": self.memory_bits(),
+            "items_inserted": self.items_inserted,
+            "fill_ratio": fill,
+            "s": self.s,
+            "estimate": estimate.value,
+            "saturated": estimate.saturated,
+            "sweep": self.clock.sweep_telemetry(),
+        }
 
     def __repr__(self) -> str:
         return f"ClockBitmap(n={self.n}, s={self.s}, window={self.window})"

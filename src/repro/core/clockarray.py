@@ -36,6 +36,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError, TimeError
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 
 __all__ = ["ClockArray", "circles_per_window_for", "dtype_for_bits",
@@ -154,6 +155,10 @@ class ClockArray:
         self.sweep_mode = sweep_mode
         self._steps_done = 0
         self._now = 0.0
+        # Sweep telemetry: plain ints maintained unconditionally (the
+        # obs registry/ring only sees them while enabled).
+        self._sweeps_done = 0
+        self._cells_cleaned_total = 0
         # Exact integer scheduling is possible for count-based windows.
         self._count_based = window.is_count_based
         self._window_length = window.length
@@ -214,45 +219,71 @@ class ClockArray:
         if self.sweep_mode.startswith("deferred") and delta < self.n:
             # Let the "background thread" fall behind by up to one
             # circle before doing any work.
+            if _obs.ENABLED:
+                _obs.record_sweep_deferral(delta)
             return
+        cleaned_before = self._cells_cleaned_total
         if self.sweep_mode in ("scalar", "deferred-scalar"):
             self._sweep_scalar(delta)
         else:
             self._sweep_vector(delta)
         self._steps_done = target
+        self._sweeps_done += 1
+        if _obs.ENABLED:
+            _obs.record_sweep(
+                self._now, self.pointer,
+                self._cells_cleaned_total - cleaned_before, delta,
+            )
 
     @property
     def is_deferred(self) -> bool:
         """True when cleaning is batched behind the insert path."""
         return self.sweep_mode.startswith("deferred")
 
-    def sync_state(self, now, steps_done: int) -> None:
+    def sync_state(self, now, steps_done: int, cleaned: int = 0) -> None:
         """Adopt an externally computed cleaner position.
 
         The batch engine applies whole sweeps in closed form
         (:mod:`repro.engine.fused`) and then declares the end state here
         instead of replaying the steps through :meth:`advance`.
+        ``cleaned`` reports how many cells the closed-form application
+        expired, keeping the sweep telemetry consistent with the
+        incremental path.
         """
         if now < self._now:
             raise TimeError(f"time moved backwards: {now} < {self._now}")
         self._now = now
         if steps_done > self._steps_done:
+            steps = int(steps_done) - self._steps_done
             self._steps_done = int(steps_done)
+            self._sweeps_done += 1
+            self._cells_cleaned_total += int(cleaned)
+            if _obs.ENABLED:
+                _obs.record_sweep(self._now, self.pointer, int(cleaned), steps)
 
     def flush(self) -> None:
         """Force a deferred cleaner to catch up to the current time."""
         target = self.total_steps_at(self._now)
         delta = target - self._steps_done
         if delta > 0:
+            cleaned_before = self._cells_cleaned_total
             if self.sweep_mode == "deferred-scalar":
                 self._sweep_scalar(delta)
             else:
                 self._sweep_vector(delta)
             self._steps_done = target
+            self._sweeps_done += 1
+            if _obs.ENABLED:
+                _obs.record_sweep(
+                    self._now, self.pointer,
+                    self._cells_cleaned_total - cleaned_before, delta,
+                )
 
     def _emit_expired(self, expired: np.ndarray) -> None:
-        if self.on_expire is not None and expired.size:
-            self.on_expire(expired)
+        if expired.size:
+            self._cells_cleaned_total += int(expired.size)
+            if self.on_expire is not None:
+                self.on_expire(expired)
 
     def _sweep_vector(self, delta: int) -> None:
         """Perform ``delta`` sweep steps with numpy range operations."""
@@ -346,11 +377,67 @@ class ClockArray:
         """Accounted footprint: ``n`` cells of ``s`` bits."""
         return self.n * self.s
 
+    # ------------------------------------------------------------------
+    # Sweep telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def sweeps_done(self) -> int:
+        """Sweep executions so far (advance/flush/fused batches that did work)."""
+        return self._sweeps_done
+
+    @property
+    def cells_cleaned_total(self) -> int:
+        """Cells expired (decremented to zero) by cleaning so far."""
+        return self._cells_cleaned_total
+
+    @property
+    def sweep_lag(self) -> int:
+        """Steps the cleaner is behind the ideal cadence at the current time.
+
+        Exact sweep modes are always caught up after an operation
+        (lag 0); deferred modes let the lag grow to just under one
+        circle (``n`` steps) before sweeping.
+        """
+        return self.total_steps_at(self._now) - self._steps_done
+
+    def fill_ratio(self) -> float:
+        """Fraction of cells currently non-zero."""
+        return float(np.count_nonzero(self.values)) / self.n
+
+    def occupancy_histogram(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Log-2 histogram of the non-zero cell values.
+
+        Returns ``(bounds, counts)``: ``bounds`` are the upper bucket
+        bounds ``2^0 .. 2^s`` (``le`` semantics) and ``counts`` has one
+        extra overflow slot (always zero, since values cap at
+        ``2^s - 1``).
+        """
+        bounds = np.power(2.0, np.arange(0, self.s + 1, dtype=np.float64))
+        nonzero = self.values[self.values > 0].astype(np.float64)
+        indexes = np.searchsorted(bounds, nonzero, side="left")
+        counts = np.bincount(indexes, minlength=bounds.size + 1)
+        return bounds, counts
+
+    def sweep_telemetry(self) -> dict:
+        """One-call snapshot of the cleaner's bookkeeping."""
+        return {
+            "sweeps_done": self._sweeps_done,
+            "steps_done": self._steps_done,
+            "cells_cleaned_total": self._cells_cleaned_total,
+            "pointer": self.pointer,
+            "sweep_lag": self.sweep_lag,
+            "fill_ratio": self.fill_ratio(),
+            "zero_cells": self.count_zero(),
+        }
+
     def reset(self) -> None:
         """Clear all cells and rewind the cleaner to time zero."""
         self.values[:] = 0
         self._steps_done = 0
         self._now = 0.0
+        self._sweeps_done = 0
+        self._cells_cleaned_total = 0
 
     def __repr__(self) -> str:
         return (

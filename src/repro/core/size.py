@@ -16,6 +16,7 @@ import numpy as np
 from ..engine import BatchEngine
 from ..errors import ConfigurationError
 from ..hashing import IndexDeriver
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
@@ -192,6 +193,29 @@ class ClockCountMin(ClockSketchBase):
     def memory_bits(self) -> int:
         """Accounted footprint: ``d * w`` cells of ``s + b`` bits."""
         return self.width * self.depth * (self.s + self.counter_bits)
+
+    def metrics(self) -> dict:
+        """Operational snapshot; publishes gauges while obs is enabled."""
+        fill = self.clock.fill_ratio()
+        live_counters = int(np.count_nonzero(self.counters))
+        saturated = int(np.count_nonzero(self.counters >= self.counter_max))
+        if _obs.ENABLED:
+            name = type(self).__name__
+            _obs.publish_sketch(name, self.memory_bits(), fill)
+            _obs.sample_clock(self.clock, labels={"sketch": name})
+        return {
+            "task": "size",
+            "sketch": type(self).__name__,
+            "memory_bits": self.memory_bits(),
+            "items_inserted": self.items_inserted,
+            "fill_ratio": fill,
+            "s": self.s,
+            "depth": self.depth,
+            "width": self.width,
+            "live_counters": live_counters,
+            "saturated_counters": saturated,
+            "sweep": self.clock.sweep_telemetry(),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,7 @@ import numpy as np
 from ..engine import BatchEngine
 from ..errors import TimeError
 from ..hashing import IndexDeriver
+from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
@@ -185,6 +186,26 @@ class ClockTimeSpanSketch(ClockSketchBase):
     def memory_bits(self) -> int:
         """Accounted footprint: ``n`` cells of ``s + 64`` bits."""
         return self.n * (self.s + TIMESTAMP_BITS)
+
+    def metrics(self) -> dict:
+        """Operational snapshot; publishes gauges while obs is enabled."""
+        fill = self.clock.fill_ratio()
+        stamped = int(np.count_nonzero(self.timestamps))
+        if _obs.ENABLED:
+            name = type(self).__name__
+            _obs.publish_sketch(name, self.memory_bits(), fill)
+            _obs.sample_clock(self.clock, labels={"sketch": name})
+        return {
+            "task": "span",
+            "sketch": type(self).__name__,
+            "memory_bits": self.memory_bits(),
+            "items_inserted": self.items_inserted,
+            "fill_ratio": fill,
+            "k": self.k,
+            "s": self.s,
+            "stamped_cells": stamped,
+            "sweep": self.clock.sweep_telemetry(),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -26,9 +26,12 @@ serialisation of a sketch ignores it entirely.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..errors import TimeError
+from ..obs import runtime as _obs
 from .fused import fuse_countmin, fuse_timespan, fuse_touch
 
 __all__ = ["BatchEngine", "DEFAULT_MIN_FUSED"]
@@ -67,10 +70,21 @@ class BatchEngine:
         sketch._items_inserted += len(times_arr)
         sketch._now = float(times_arr[-1])
 
-    def _finish_fused(self, times_arr: np.ndarray, end_steps: int) -> None:
+    def _finish_fused(self, times_arr: np.ndarray, end_steps: int,
+                      cleaned: int = 0) -> None:
         """Adopt the fused end state: cleaner position plus commit."""
-        self.sketch.clock.sync_state(float(times_arr[-1]), end_steps)
+        self.sketch.clock.sync_state(float(times_arr[-1]), end_steps,
+                                     cleaned=cleaned)
         self._commit(times_arr)
+
+    def _record(self, count: int, path: str, started: float) -> None:
+        """Publish one applied batch to the obs registry (enabled only).
+
+        ``record_batch`` counts the items into the sketch insert totals
+        too, so this is a single recorder call per batch.
+        """
+        _obs.record_batch(type(self.sketch).__name__, count, path,
+                          perf_counter() - started)
 
     def _ingest_loop(self, times_arr: np.ndarray, apply_one) -> None:
         """Reference path: per-item advance + cell writes, then commit.
@@ -127,26 +141,32 @@ class BatchEngine:
         times_arr = sketch._insert_times_many(count, times)
         if not count:
             return
+        started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred:
 
             def scatter(pos, end):
                 clock.touch(index_matrix[pos:end].ravel())
 
             self._ingest_deferred(times_arr, scatter)
+            path = "deferred"
         elif count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            fuse_touch(
+            cleaned = fuse_touch(
                 clock,
                 index_matrix.ravel(),
                 np.repeat(steps, index_matrix.shape[1]),
                 end_steps,
             )
-            self._finish_fused(times_arr, end_steps)
+            self._finish_fused(times_arr, end_steps, cleaned)
+            path = "fused"
         else:
             self._ingest_loop(
                 times_arr, lambda i, now: clock.touch(index_matrix[i])
             )
+            path = "loop"
+        if _obs.ENABLED:
+            self._record(count, path, started)
 
     def ingest_timespan(self, index_matrix: np.ndarray, times=None) -> None:
         """Batch of touches plus first-writer timestamps (BF-ts+clock)."""
@@ -160,6 +180,7 @@ class BatchEngine:
         if times_arr[0] <= 0:
             raise TimeError("time-span sketch requires positive stream times")
         k = index_matrix.shape[1]
+        started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred:
 
             def scatter(pos, end):
@@ -177,10 +198,11 @@ class BatchEngine:
                 clock.touch(flats)
 
             self._ingest_deferred(times_arr, scatter)
+            path = "deferred"
         elif count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            fuse_timespan(
+            cleaned = fuse_timespan(
                 clock,
                 timestamps,
                 index_matrix.ravel(),
@@ -188,7 +210,8 @@ class BatchEngine:
                 np.repeat(times_arr, k),
                 end_steps,
             )
-            self._finish_fused(times_arr, end_steps)
+            self._finish_fused(times_arr, end_steps, cleaned)
+            path = "fused"
         else:
 
             def apply_one(i, now):
@@ -199,6 +222,9 @@ class BatchEngine:
                         timestamps[cell] = now
 
             self._ingest_loop(times_arr, apply_one)
+            path = "loop"
+        if _obs.ENABLED:
+            self._record(count, path, started)
 
     def ingest_countmin(self, flat_matrix: np.ndarray, times=None) -> None:
         """Batch of counter bumps plus touches (CM+clock).
@@ -214,6 +240,7 @@ class BatchEngine:
         times_arr = sketch._insert_times_many(count, times)
         if not count:
             return
+        started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred and not sketch.conservative:
             counter_max = sketch.counter_max
 
@@ -229,10 +256,11 @@ class BatchEngine:
                 clock.touch(flats)
 
             self._ingest_deferred(times_arr, scatter)
+            path = "deferred"
         elif not sketch.conservative and count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            fuse_countmin(
+            cleaned = fuse_countmin(
                 clock,
                 counters,
                 sketch.counter_max,
@@ -240,7 +268,8 @@ class BatchEngine:
                 np.repeat(steps, flat_matrix.shape[1]),
                 end_steps,
             )
-            self._finish_fused(times_arr, end_steps)
+            self._finish_fused(times_arr, end_steps, cleaned)
+            path = "fused"
         else:
 
             def apply_one(i, now):
@@ -249,3 +278,6 @@ class BatchEngine:
                 clock.touch(row)
 
             self._ingest_loop(times_arr, apply_one)
+            path = "loop"
+        if _obs.ENABLED:
+            self._record(count, path, started)

@@ -36,8 +36,39 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.clockarray import snapshot_values, sweep_hits
+from ..obs import runtime as _obs
 
 __all__ = ["fuse_touch", "fuse_timespan", "fuse_countmin"]
+
+
+def _cleaned_prelude(clock, touched: np.ndarray,
+                     final: np.ndarray) -> "int | None":
+    """First half of the cleaned-cell count; call *before* load_values.
+
+    ``cleaned`` (cells live before the batch, zero after) satisfies
+
+        cleaned = nonzero(before) - nonzero(after) + born
+
+    where ``born`` — cells empty before but live after — can only be
+    touched cells, so it needs just the per-touched-cell arrays.
+    Counting ``nonzero`` on ``clock.values`` (the small cell dtype, not
+    the int64 working copies) keeps this to a fraction of a full
+    boolean-mask pass. Only runs while observability is on — with it
+    off the fused paths report 0 cleaned and the clock's
+    ``cells_cleaned_total`` stays a sweep-path-only statistic.
+    """
+    if not _obs.ENABLED:
+        return None
+    nz_before = int(np.count_nonzero(clock.values))
+    born = int(np.count_nonzero(final[clock.values.take(touched) == 0]))
+    return nz_before + born
+
+
+def _cleaned_result(clock, prelude: "int | None") -> int:
+    """Second half of the cleaned-cell count; call *after* load_values."""
+    if prelude is None:
+        return 0
+    return prelude - int(np.count_nonzero(clock.values))
 
 
 def _decayed_values(clock, end_steps: int):
@@ -108,32 +139,39 @@ class _TouchSegments:
 
 
 def fuse_touch(clock, cells: np.ndarray, steps: np.ndarray,
-               end_steps: int) -> None:
+               end_steps: int) -> int:
     """Fused batch of plain clock touches (BF+clock / BM+clock).
 
     ``cells``/``steps`` are flat aligned arrays in arrival order with
     non-decreasing ``steps``. Only the clock values are rewritten; the
-    caller commits the cleaner position afterwards.
+    caller commits the cleaner position afterwards. Returns the number
+    of cells the batch left expired (live before, zero after) so the
+    caller can keep the clock's sweep telemetry consistent.
     """
-    _old, decayed = _decayed_values(clock, end_steps)
+    old, decayed = _decayed_values(clock, end_steps)
     last_set = np.full(clock.n, -1, dtype=np.int64)
     np.maximum.at(last_set, cells, steps)
     touched = np.flatnonzero(last_set >= 0)
-    decayed[touched] = snapshot_values(
+    snap = snapshot_values(
         last_set[touched], touched, clock.n, clock.max_value, end_steps
     )
+    decayed[touched] = snap
+    prelude = _cleaned_prelude(clock, touched, snap)
     clock.load_values(decayed)
+    return _cleaned_result(clock, prelude)
 
 
 def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
                   steps: np.ndarray, stamps: np.ndarray,
-                  end_steps: int) -> None:
+                  end_steps: int) -> int:
     """Fused batch for BF-ts+clock: touches plus first-writer timestamps.
 
     ``stamps`` aligns with ``cells``/``steps`` and carries each touch's
     arrival time. Reproduces the scalar rule exactly: a touch writes its
     time only when the cell is empty, and expiry (including expiry that
     happens *between* touches of this batch) erases the timestamp.
+    Returns the number of cells the batch left expired (see
+    :func:`fuse_touch`).
     """
     old, decayed = _decayed_values(clock, end_steps)
     segs = _TouchSegments(clock, cells, steps, old, end_steps)
@@ -155,19 +193,22 @@ def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
     timestamps[seg_cells] = ts_new
 
     decayed[seg_cells] = segs.final_values
+    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values)
     clock.load_values(decayed)
+    return _cleaned_result(clock, prelude)
 
 
 def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
                   cells: np.ndarray, steps: np.ndarray,
-                  end_steps: int) -> None:
+                  end_steps: int) -> int:
     """Fused batch for CM+clock: saturating counter bumps plus touches.
 
     Each touch increments its cell's counter (clamped at
     ``counter_max``); expiry — before, between, or after the batch's
     touches — clears the counter, so a cell's final count is the number
     of touches since its last expiry, plus its pre-batch count if it
-    never expired.
+    never expired. Returns the number of cells the batch left expired
+    (see :func:`fuse_touch`).
     """
     old, decayed = _decayed_values(clock, end_steps)
     segs = _TouchSegments(clock, cells, steps, old, end_steps)
@@ -187,4 +228,6 @@ def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
     counters[seg_cells] = ctr_new.astype(counters.dtype)
 
     decayed[seg_cells] = segs.final_values
+    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values)
     clock.load_values(decayed)
+    return _cleaned_result(clock, prelude)

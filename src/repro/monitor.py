@@ -32,6 +32,7 @@ from .core import (
     ClockTimeSpanSketch,
 )
 from .errors import ConfigurationError
+from .obs import runtime as _obs
 from .timebase import WindowSpec
 from .units import parse_memory
 
@@ -78,6 +79,14 @@ class ItemBatchMonitor:
 
     TASKS = ("activeness", "cardinality", "size", "span")
 
+    #: Task name → the attribute holding that task's sketch.
+    _TASK_ATTRS = {
+        "activeness": "activeness",
+        "cardinality": "cardinality",
+        "size": "size_sketch",
+        "span": "span_sketch",
+    }
+
     def __init__(self, window: WindowSpec, memory="64KB", tasks=None,
                  split=None, seed: int = 0):
         self.window = window
@@ -93,8 +102,13 @@ class ItemBatchMonitor:
         if split:
             weights.update(split)
         total_weight = sum(weights[t] for t in enabled)
+        # The effective split: renormalised over the enabled task
+        # subset, so it always sums to 1.0 — this is what operators see
+        # in repr()/memory_report().
+        self.split = {t: weights[t] / total_weight for t in enabled}
         bits = parse_memory(memory)
         budget = {t: int(bits * weights[t] / total_weight) for t in enabled}
+        self.budget_bits = dict(budget)
 
         self.activeness = None
         self.cardinality = None
@@ -190,8 +204,53 @@ class ItemBatchMonitor:
         """Total accounted footprint of the enabled structures."""
         return sum(s.memory_bits() for s in self._sketches)
 
+    def memory_report(self) -> dict:
+        """Per-task memory accounting: split fractions, budgets, actuals.
+
+        ``split`` is the effective (renormalised) fraction per enabled
+        task and always sums to 1.0; ``budget_bits`` is each task's
+        slice of the configured budget; ``actual_bits`` is what the
+        built structure really occupies (cell-count rounding makes it
+        ≤ its budget).
+        """
+        actual = {
+            task: getattr(self, self._TASK_ATTRS[task]).memory_bits()
+            for task in self.tasks
+        }
+        return {
+            "total_bits": self.memory_bits(),
+            "split": dict(self.split),
+            "budget_bits": dict(self.budget_bits),
+            "actual_bits": actual,
+        }
+
+    def metrics(self) -> dict:
+        """Aggregated operational snapshot across every enabled task.
+
+        Returns the monitor's memory accounting plus each enabled
+        sketch's :meth:`metrics` dict; while :mod:`repro.obs` is
+        enabled, also publishes the monitor gauges (footprint, task
+        count, split ratios) and each sketch's gauges to the registry.
+        """
+        per_task = {
+            task: getattr(self, self._TASK_ATTRS[task]).metrics()
+            for task in self.tasks
+        }
+        if _obs.ENABLED:
+            _obs.publish_monitor(self.memory_bits(), self.split)
+        return {
+            "tasks": list(self.tasks),
+            "memory_bits": self.memory_bits(),
+            "split": dict(self.split),
+            "budget_bits": dict(self.budget_bits),
+            "per_task": per_task,
+        }
+
     def __repr__(self) -> str:
+        split = ", ".join(
+            f"{task}={self.split[task]:.2f}" for task in self.tasks
+        )
         return (
             f"ItemBatchMonitor(window={self.window}, tasks={self.tasks}, "
-            f"memory={self.memory_bits() // 8192}KB)"
+            f"memory={self.memory_bits() // 8192}KB, split=({split}))"
         )

@@ -1,0 +1,102 @@
+"""``repro.obs`` — metrics, sweep tracing, and profiling hooks.
+
+A low-overhead observability layer for the clock-sketch stack:
+
+- a registry of counters, gauges, and log-scale histograms
+  (:mod:`repro.obs.registry`) with Prometheus text and JSON snapshot
+  exposition (:mod:`repro.obs.export`);
+- a fixed-size sweep-trace ring (:mod:`repro.obs.ring`) recording
+  every cleaning sweep's timestamp, pointer position, and cells
+  cleaned;
+- the process-wide switchboard (:mod:`repro.obs.runtime`):
+  instrumentation in ``core/``, ``engine/``, ``concurrent`` and
+  ``monitor`` is nil-cost until :func:`enable` (or the
+  :func:`observed` context manager) turns it on;
+- profiling hooks (:class:`timed`) used by the bench harness;
+- an optional stdlib HTTP endpoint (:class:`MetricsServer`, imported
+  lazily — see :mod:`repro.obs.http`) and a CLI
+  (``python -m repro.obs``).
+
+Metric names are registered constants in :mod:`repro.obs.names`
+(enforced by sketch-lint rule SK106). The full catalogue, exposition
+formats, and the <10% enabled-overhead budget are documented in
+``docs/observability.md``.
+
+Examples
+--------
+>>> from repro import obs
+>>> with obs.observed() as reg:
+...     pass  # run instrumented workload here
+>>> print(obs.prometheus_text(reg))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import names
+from .export import (
+    parse_prometheus,
+    prometheus_text,
+    registry_from_snapshot,
+    snapshot_json,
+)
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SECONDS_BOUNDS,
+    SIZE_BOUNDS,
+)
+from .ring import SweepTraceRing
+from .runtime import (
+    disable,
+    enable,
+    enabled,
+    observed,
+    registry,
+    sweep_ring,
+    timed,
+)
+
+__all__ = [
+    "names",
+    # switchboard
+    "enable",
+    "disable",
+    "enabled",
+    "observed",
+    "registry",
+    "sweep_ring",
+    "timed",
+    # primitives
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SweepTraceRing",
+    "SECONDS_BOUNDS",
+    "SIZE_BOUNDS",
+    # exposition
+    "prometheus_text",
+    "parse_prometheus",
+    "snapshot_json",
+    "registry_from_snapshot",
+    # lazy
+    "MetricsServer",
+]
+
+
+def __getattr__(name: str) -> Any:
+    # MetricsServer pulls in http.server; load it only on first use so
+    # importing repro.obs (which every instrumented module does) stays
+    # cheap.
+    if name == "MetricsServer":
+        from .http import MetricsServer
+        return MetricsServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,125 @@
+"""Optional stdlib-only HTTP exposition endpoint.
+
+:class:`MetricsServer` serves the live registry at ``/metrics``
+(Prometheus text) and ``/metrics.json`` (JSON snapshot) from a daemon
+thread — no third-party dependency, no framework. Intended for local
+scraping and the ``examples/metrics_endpoint.py`` snippet; it is not a
+hardened production server.
+
+Kept out of ``repro.obs``'s module-level imports so the hot path never
+pays for ``http.server``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional
+
+from .export import prometheus_text, snapshot_json
+from . import runtime
+
+__all__ = ["MetricsServer"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    # The registry provider is attached to the server instance by
+    # MetricsServer (handlers are re-created per request).
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        provider: "Callable[[], Any]" = self.server.registry_provider  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_text(provider()).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = snapshot_json(provider()).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        else:
+            self.send_error(404, "try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Silence per-request stderr chatter; scrapes can be frequent.
+        pass
+
+
+class MetricsServer:
+    """Background HTTP server exposing the observability registry.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` — handy for tests and examples).
+    registry_provider:
+        Zero-arg callable returning the registry to expose on each
+        scrape; defaults to :func:`repro.obs.runtime.registry`, i.e.
+        whatever is currently enabled.
+
+    Examples
+    --------
+    >>> from repro import obs
+    >>> reg = obs.enable()
+    >>> server = obs.MetricsServer(port=0)
+    >>> server.start()                                   # doctest: +SKIP
+    >>> # curl http://127.0.0.1:{server.port}/metrics
+    >>> server.stop()                                    # doctest: +SKIP
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry_provider: "Optional[Callable[[], Any]]" = None):
+        self.host = host
+        self._requested_port = port
+        self._provider = registry_provider or runtime.registry
+        self._server: "Optional[ThreadingHTTPServer]" = None
+        self._thread: "Optional[threading.Thread]" = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return int(self._server.server_address[1])
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve from a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _MetricsHandler
+        )
+        server.daemon_threads = True
+        server.registry_provider = self._provider  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-obs-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

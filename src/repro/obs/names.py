@@ -1,0 +1,109 @@
+"""The metric-name catalogue: every registered metric name, as a constant.
+
+Metric names are part of the library's operational contract — dashboards
+and alerts reference them by string, so a typo in one instrumentation
+site silently forks a series. sketch-lint rule SK106 therefore bans
+inline name literals at registration sites (``registry.counter("...")``);
+every name lives here, once, and instrumentation imports the constant.
+
+Naming follows the Prometheus conventions: ``repro_`` namespace, an
+area segment (``clock``, ``sketch``, ``engine``, ``lock``, ``monitor``,
+``bench``), a ``_total`` suffix on counters and a unit suffix
+(``_seconds``, ``_bits``, ``_steps``) where one applies. The full
+catalogue with per-metric semantics is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    # clock / sweep telemetry
+    "CLOCK_SWEEPS_TOTAL",
+    "CLOCK_SWEEP_STEPS_TOTAL",
+    "CLOCK_CELLS_CLEANED_TOTAL",
+    "CLOCK_SWEEP_LAG_STEPS",
+    "CLOCK_FILL_RATIO",
+    "CLOCK_ZERO_CELLS",
+    "CLOCK_CELL_VALUE",
+    # per-sketch operations and state
+    "SKETCH_INSERTS_TOTAL",
+    "SKETCH_QUERIES_TOTAL",
+    "SKETCH_MEMORY_BITS",
+    "SKETCH_FILL_RATIO",
+    # batch engine
+    "ENGINE_BATCH_ITEMS_TOTAL",
+    "ENGINE_BATCHES_TOTAL",
+    "ENGINE_BATCH_SIZE",
+    "ENGINE_BATCH_SECONDS",
+    "ENGINE_ITEMS_PER_SEC",
+    # concurrency
+    "LOCK_ACQUIRES_TOTAL",
+    "LOCK_CONTENTION_TOTAL",
+    "LOCK_WAIT_SECONDS_TOTAL",
+    # monitor facade
+    "MONITOR_MEMORY_BITS",
+    "MONITOR_SPLIT_RATIO",
+    "MONITOR_TASKS",
+    # bench harness profiling
+    "BENCH_STAGE_SECONDS",
+]
+
+# ---------------------------------------------------------------------- clock
+#: Sweep executions performed (one ``advance``/``flush``/fused batch
+#: that did work counts once).
+CLOCK_SWEEPS_TOTAL = "repro_clock_sweeps_total"
+#: Individual sweep steps (cell visits) performed by the cleaner.
+CLOCK_SWEEP_STEPS_TOTAL = "repro_clock_sweep_steps_total"
+#: Cells whose clock reached zero (expired) during cleaning.
+CLOCK_CELLS_CLEANED_TOTAL = "repro_clock_cells_cleaned_total"
+#: Cleaner lag behind the ideal ``T/(2^s - 2)`` cadence, in steps
+#: (0 for exact sweep modes after every operation; < n for deferred).
+CLOCK_SWEEP_LAG_STEPS = "repro_clock_sweep_lag_steps"
+#: Fraction of clock cells currently non-zero (sampled).
+CLOCK_FILL_RATIO = "repro_clock_fill_ratio"
+#: Number of clock cells currently zero (sampled).
+CLOCK_ZERO_CELLS = "repro_clock_zero_cells"
+#: Log-2-bucketed histogram of non-zero cell values (sampled occupancy).
+CLOCK_CELL_VALUE = "repro_clock_cell_value"
+
+# --------------------------------------------------------------------- sketch
+#: Items inserted, labelled by sketch class (scalar and batch paths).
+SKETCH_INSERTS_TOTAL = "repro_sketch_inserts_total"
+#: Query operations resolved, labelled by sketch class.
+SKETCH_QUERIES_TOTAL = "repro_sketch_queries_total"
+#: Accounted memory footprint per task, in bits (gauge).
+SKETCH_MEMORY_BITS = "repro_sketch_memory_bits"
+#: Estimated-vs-capacity fill per task (fraction of live cells).
+SKETCH_FILL_RATIO = "repro_sketch_fill_ratio"
+
+# --------------------------------------------------------------------- engine
+#: Items ingested through the batch engine.
+ENGINE_BATCH_ITEMS_TOTAL = "repro_engine_batch_items_total"
+#: Batches applied, labelled by path (``fused``/``loop``/``deferred``).
+ENGINE_BATCHES_TOTAL = "repro_engine_batches_total"
+#: Histogram of batch sizes handed to the engine.
+ENGINE_BATCH_SIZE = "repro_engine_batch_size"
+#: Histogram of wall-clock seconds per applied batch.
+ENGINE_BATCH_SECONDS = "repro_engine_batch_seconds"
+#: Items/sec of the most recent batch application (gauge).
+ENGINE_ITEMS_PER_SEC = "repro_engine_items_per_sec"
+
+# ----------------------------------------------------------------------- lock
+#: Lock acquisitions by ThreadSafeSketch's guarded paths.
+LOCK_ACQUIRES_TOTAL = "repro_lock_acquires_total"
+#: Acquisitions that found the lock held (contended).
+LOCK_CONTENTION_TOTAL = "repro_lock_contention_total"
+#: Cumulative seconds spent blocked waiting for the lock.
+LOCK_WAIT_SECONDS_TOTAL = "repro_lock_wait_seconds_total"
+
+# -------------------------------------------------------------------- monitor
+#: Total accounted footprint of an ItemBatchMonitor, in bits.
+MONITOR_MEMORY_BITS = "repro_monitor_memory_bits"
+#: Configured (normalised) memory split, labelled by task.
+MONITOR_SPLIT_RATIO = "repro_monitor_split_ratio"
+#: Number of enabled tasks.
+MONITOR_TASKS = "repro_monitor_tasks"
+
+# ---------------------------------------------------------------------- bench
+#: Histogram of experiment-harness stage latencies, labelled by stage.
+BENCH_STAGE_SECONDS = "repro_bench_stage_seconds"

@@ -12,6 +12,7 @@ usage/parse errors). Suppressions are source comments::
     # sketchlint: raw-clock-ok         (SK103)
     # sketchlint: lockfree-ok          (SK104)
     # sketchlint: pair-ok              (SK105)
+    # sketchlint: metric-name-ok       (SK106)
 
 A suppression comment silences its rule on its own line and on the
 line directly below (comment-above style). Placed on a ``def`` or

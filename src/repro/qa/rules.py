@@ -32,6 +32,14 @@ SK105
     ``query``/``query_many``, ``contains``/``contains_many``. Half a
     pair means some callers silently fall off the vectorised path (or
     have no scalar reference to property-test against).
+SK106
+    Metric registration sites (``counter`` / ``gauge`` / ``histogram``
+    registrars and ``timed`` instrumentation) must name their series
+    through the registered constants in :mod:`repro.obs.names`, never
+    inline string literals. An inline name drifts from the catalogue
+    silently — dashboards point at a series nobody emits any more.
+    Test modules (any path with a ``tests`` segment) are exempt, as
+    are intentional literals marked ``# sketchlint: metric-name-ok``.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 __all__ = ["Finding", "ModuleScope", "RULE_IDS", "SUPPRESSION_TOKENS",
            "run_rules", "scope_for_path"]
 
-RULE_IDS = ("SK101", "SK102", "SK103", "SK104", "SK105")
+RULE_IDS = ("SK101", "SK102", "SK103", "SK104", "SK105", "SK106")
 
 #: Suppression comment tokens (``# sketchlint: <token>``) per rule.
 SUPPRESSION_TOKENS: Dict[str, str] = {
@@ -53,6 +61,7 @@ SUPPRESSION_TOKENS: Dict[str, str] = {
     "raw-clock-ok": "SK103",
     "lockfree-ok": "SK104",
     "pair-ok": "SK105",
+    "metric-name-ok": "SK106",
 }
 
 
@@ -76,6 +85,7 @@ class ModuleScope:
     hot_path: bool      # SK101: core/, engine/, hashing/
     dtype_scope: bool   # SK102: core/, engine/
     clock_scope: bool   # SK103: core/, engine/, serialize.py — minus clockarray.py
+    metric_scope: bool  # SK106: everywhere except tests/
 
 
 def scope_for_path(path: str) -> ModuleScope:
@@ -92,8 +102,9 @@ def scope_for_path(path: str) -> ModuleScope:
     dtype_scope = bool(segments & {"core", "engine"})
     clock_scope = (dtype_scope or basename == "serialize.py") \
         and basename != "clockarray.py"
+    metric_scope = "tests" not in segments
     return ModuleScope(hot_path=hot, dtype_scope=dtype_scope,
-                       clock_scope=clock_scope)
+                       clock_scope=clock_scope, metric_scope=metric_scope)
 
 
 # ----------------------------------------------------------------------
@@ -406,8 +417,54 @@ def _rule_sk105(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding
     return findings
 
 
+# ----------------------------------------------------------------------
+# SK106 — metric names must be registered constants, not inline strings
+# ----------------------------------------------------------------------
+
+#: Registrar call names whose first argument names a metric series.
+_METRIC_REGISTRARS: Set[str] = {"counter", "gauge", "histogram", "timed"}
+
+
+def _metric_name_arg(node: ast.Call) -> "Optional[ast.expr]":
+    for kw in node.keywords:
+        if kw.arg == "name":
+            return kw.value
+    if node.args:
+        return node.args[0]
+    return None
+
+
+def _rule_sk106(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding]:
+    if not scope.metric_scope:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            registrar = func.attr
+        elif isinstance(func, ast.Name):
+            registrar = func.id
+        else:
+            continue
+        if registrar not in _METRIC_REGISTRARS:
+            continue
+        arg = _metric_name_arg(node)
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            findings.append(Finding(
+                "SK106", path, node.lineno,
+                f"inline metric-name literal in `{registrar}(...)`; metric "
+                "names are registered constants — import them from "
+                "repro.obs.names (mark an intentional literal with "
+                "`# sketchlint: metric-name-ok`)",
+            ))
+    return findings
+
+
 _RULES: Tuple[Callable[[ast.Module, str, ModuleScope], List[Finding]], ...] = (
     _rule_sk101, _rule_sk102, _rule_sk103, _rule_sk104, _rule_sk105,
+    _rule_sk106,
 )
 
 

@@ -1,0 +1,15 @@
+"""SK106 fixture: metric names come from the registered constants."""
+
+from repro import obs
+from repro.obs import names
+
+WIDGET_TOTAL = names.SKETCH_INSERTS_TOTAL
+
+
+def publish(registry, elapsed):
+    registry.counter(WIDGET_TOTAL, "Widgets.").inc()
+    registry.gauge(name=names.SKETCH_MEMORY_BITS, help="Depth.").set(3)
+    registry.histogram(names.ENGINE_BATCH_SECONDS).observe(elapsed)
+    with obs.timed(names.BENCH_STAGE_SECONDS, {"stage": "demo"}):
+        pass
+    registry.counter("repro_adhoc_total")  # sketchlint: metric-name-ok

@@ -47,6 +47,29 @@ class TestExperimentResult:
         text = format_table([{"v": 1.5e-5}], ["v"])
         assert "e-05" in text
 
+    def test_to_csv_round_trips_rows(self, tmp_path):
+        import csv
+
+        result = ExperimentResult(title="T", columns=["name", "rate", "note"])
+        result.add(name="a", rate=0.25, note=None)
+        result.add(name="b", rate=4.0, note="x", extra_column="dropped")
+        target = tmp_path / "out.csv"
+        result.to_csv(target)
+        with open(target, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows == [
+            {"name": "a", "rate": "0.25", "note": ""},
+            {"name": "b", "rate": "4.0", "note": "x"},
+        ]
+
+    def test_to_csv_creates_missing_parent_dirs(self, tmp_path):
+        result = ExperimentResult(title="T", columns=["x"])
+        result.add(x=1)
+        target = tmp_path / "results" / "run1" / "fig.csv"
+        result.to_csv(target)
+        assert target.exists()
+        assert "x" in target.read_text()
+
 
 class TestCachedTrace:
     def test_caching_returns_same_object(self):

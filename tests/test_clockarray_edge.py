@@ -1,5 +1,5 @@
 """Edge-case tests for the clock array: wide cells, float schedules,
-tiny arrays, and exact pointer arithmetic."""
+tiny arrays, sweep telemetry, and exact pointer arithmetic."""
 
 import numpy as np
 import pytest
@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.clockarray import ClockArray
+from repro.errors import ConfigurationError
 from repro.timebase import count_window, time_window
 
 
@@ -81,6 +82,55 @@ class TestTimeBasedSchedules:
         clock.touch([5])
         clock.advance(start + window * fraction)
         assert clock.values[5] > 0
+
+
+class TestSweepTelemetry:
+    def test_zero_size_array_is_rejected_before_telemetry_exists(self):
+        with pytest.raises(ConfigurationError):
+            ClockArray(0, 2, count_window(8))
+
+    def test_full_circle_with_no_touches_cleans_every_live_cell(self):
+        clock = ClockArray(n=16, s=2, window=count_window(16))
+        clock.advance(0.0)
+        clock.touch(np.arange(8, dtype=np.int64))
+        live = int(np.count_nonzero(clock.values))
+        assert live == 8
+        before = clock.cells_cleaned_total
+        # Two full windows with no further touches: every cell decays
+        # through max_value decrements to zero.
+        clock.advance(float(2 * 16))
+        assert np.count_nonzero(clock.values) == 0
+        assert clock.cells_cleaned_total - before == live
+        telemetry = clock.sweep_telemetry()
+        assert telemetry["fill_ratio"] == 0.0
+        assert telemetry["zero_cells"] == clock.n
+        assert telemetry["sweeps_done"] == clock.sweeps_done
+
+    def test_untouched_clock_cleans_nothing(self):
+        clock = ClockArray(n=16, s=2, window=count_window(16))
+        clock.advance(float(3 * 16))
+        assert clock.cells_cleaned_total == 0
+        assert clock.sweeps_done >= 1
+
+    def test_deferred_mode_reports_bounded_lag(self):
+        clock = ClockArray(n=32, s=2, window=count_window(32),
+                           sweep_mode="deferred")
+        lags = []
+        for t in range(1, 64):
+            clock.advance(float(t))
+            lags.append(clock.sweep_lag)
+        # Deferred cadence: the cleaner may trail, but never by a full
+        # cleaning circle (n steps), and the lag must actually vary.
+        assert all(0 <= lag < clock.n for lag in lags)
+        assert len(set(lags)) > 1
+        clock.flush()
+        assert clock.sweep_lag == 0
+
+    def test_exact_mode_is_always_caught_up(self):
+        clock = ClockArray(n=32, s=2, window=count_window(32))
+        for t in range(1, 20):
+            clock.advance(float(t))
+            assert clock.sweep_lag == 0
 
 
 class TestPointerArithmetic:

@@ -41,10 +41,16 @@ class TestExamples:
         out = _run("burst_detection.py")
         assert "recall" in out
 
+    def test_metrics_endpoint(self):
+        out = _run("metrics_endpoint.py")
+        assert "metric families over HTTP" in out
+        assert "repro_sketch_inserts_total" in out
+        assert "registry still readable after disable" in out
+
     @pytest.mark.parametrize("name", [
         "quickstart.py", "burst_detection.py", "cache_replacement.py",
         "apt_detection.py", "ad_targeting.py", "distributed_merge.py",
-        "trace_analysis.py", "batch_monitor.py",
+        "trace_analysis.py", "batch_monitor.py", "metrics_endpoint.py",
     ])
     def test_all_examples_exist(self, name):
         assert (EXAMPLES / name).exists()

@@ -45,6 +45,58 @@ class TestConstruction:
     def test_repr(self):
         assert "ItemBatchMonitor" in repr(ItemBatchMonitor(count_window(8)))
 
+    def test_repr_surfaces_memory_split(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="32KB",
+                                   tasks=("activeness", "size"))
+        text = repr(monitor)
+        assert "split=(" in text
+        assert f"activeness={monitor.split['activeness']:.2f}" in text
+        assert f"size={monitor.split['size']:.2f}" in text
+
+    @pytest.mark.parametrize("tasks", [
+        ("activeness",),
+        ("activeness", "size"),
+        ("cardinality", "span", "size"),
+        ("activeness", "cardinality", "size", "span"),
+    ])
+    def test_split_renormalises_to_one_for_task_subsets(self, tasks):
+        monitor = ItemBatchMonitor(count_window(64), memory="32KB",
+                                   tasks=tasks)
+        assert set(monitor.split) == set(tasks)
+        assert sum(monitor.split.values()) == pytest.approx(1.0)
+        report = monitor.memory_report()
+        assert sum(report["split"].values()) == pytest.approx(1.0)
+        assert report["total_bits"] == monitor.memory_bits()
+        for task in tasks:
+            assert report["actual_bits"][task] <= report["budget_bits"][task]
+
+    def test_metrics_aggregates_every_enabled_task(self):
+        monitor = ItemBatchMonitor(count_window(64), memory="32KB")
+        monitor.observe_many(range(100))
+        metrics = monitor.metrics()
+        assert set(metrics["per_task"]) == set(monitor.tasks)
+        assert metrics["memory_bits"] == monitor.memory_bits()
+        assert sum(metrics["split"].values()) == pytest.approx(1.0)
+        for task_metrics in metrics["per_task"].values():
+            assert task_metrics["memory_bits"] > 0
+
+    def test_metrics_publishes_split_gauges_when_observed(self):
+        from repro import obs
+        from repro.obs import names
+
+        monitor = ItemBatchMonitor(count_window(64), memory="32KB",
+                                   tasks=("activeness", "size"))
+        with obs.observed() as reg:
+            monitor.metrics()
+        total = reg.get(names.MONITOR_MEMORY_BITS)
+        assert total.value == float(monitor.memory_bits())
+        assert reg.get(names.MONITOR_TASKS).value == 2.0
+        fractions = [
+            reg.get(names.MONITOR_SPLIT_RATIO, labels={"task": task}).value
+            for task in monitor.tasks
+        ]
+        assert sum(fractions) == pytest.approx(1.0)
+
 
 class TestMeasurements:
     def test_disabled_task_raises(self):

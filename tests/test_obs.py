@@ -1,0 +1,483 @@
+"""Tests for ``repro.obs`` — registry, ring, exposition, switchboard.
+
+Every test that enables instrumentation restores the disabled default
+(the autouse fixture below), so obs state never leaks between tests.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import ClockBloomFilter, count_window, obs
+from repro.concurrent import ThreadSafeSketch
+from repro.errors import ConfigurationError
+from repro.obs import names
+from repro.obs import runtime
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SECONDS_BOUNDS,
+)
+from repro.obs.ring import SweepTraceRing
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after():
+    yield
+    obs.disable()
+
+
+class TestRegistry:
+    def test_counter_inc_and_interning(self):
+        reg = MetricsRegistry()
+        a = reg.counter(names.SKETCH_INSERTS_TOTAL, "Items.",
+                        labels={"sketch": "X"})
+        b = reg.counter(names.SKETCH_INSERTS_TOTAL,
+                        labels={"sketch": "X"})
+        assert a is b
+        a.inc()
+        a.inc(4)
+        assert b.value == 5.0
+        assert len(reg) == 1
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter(names.SKETCH_INSERTS_TOTAL)
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge(names.CLOCK_SWEEP_LAG_STEPS)
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+    def test_label_variants_are_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter(names.SKETCH_INSERTS_TOTAL, labels={"sketch": "A"})
+        b = reg.counter(names.SKETCH_INSERTS_TOTAL, labels={"sketch": "B"})
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter(names.SKETCH_INSERTS_TOTAL)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge(names.SKETCH_INSERTS_TOTAL)
+
+    def test_invalid_name_and_labels_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="invalid metric name"):
+            reg.counter("0bad name")  # sketchlint: metric-name-ok
+        with pytest.raises(ConfigurationError, match="invalid label name"):
+            reg.counter(names.SKETCH_INSERTS_TOTAL, labels={"0bad": "x"})
+        with pytest.raises(ConfigurationError, match="must be strings"):
+            reg.counter(names.SKETCH_INSERTS_TOTAL, labels={"k": 3})
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get(names.SKETCH_INSERTS_TOTAL) is None
+        created = reg.counter(names.SKETCH_INSERTS_TOTAL)
+        assert reg.get(names.SKETCH_INSERTS_TOTAL) is created
+
+    def test_iteration_is_sorted_by_name_then_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge(names.SKETCH_MEMORY_BITS, labels={"sketch": "B"})
+        reg.counter(names.ENGINE_BATCHES_TOTAL)
+        reg.gauge(names.SKETCH_MEMORY_BITS, labels={"sketch": "A"})
+        keys = [(m.name, tuple(sorted(m.labels.items()))) for m in reg]
+        assert keys == sorted(keys)
+
+
+class TestHistogram:
+    def test_le_bucket_semantics_including_boundary(self):
+        hist = Histogram(names.ENGINE_BATCH_SIZE,
+                         bounds=np.array([1.0, 2.0, 4.0]))
+        hist.observe(0.5)   # <= 1      -> bucket 0
+        hist.observe(2.0)   # == bound  -> bucket 1 (le semantics)
+        hist.observe(3.0)   # <= 4      -> bucket 2
+        hist.observe(100.0)  # overflow -> +Inf bucket
+        assert hist.bucket_counts == [1, 1, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(105.5)
+        assert list(hist.cumulative_counts()) == [1, 2, 3, 4]
+
+    def test_observe_many_matches_scalar_observe(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 40.0, size=500)
+        batched = Histogram(names.ENGINE_BATCH_SIZE,
+                            bounds=np.array([1.0, 2.0, 4.0, 8.0, 16.0]))
+        scalar = Histogram(names.ENGINE_BATCH_SECONDS,
+                           bounds=np.array([1.0, 2.0, 4.0, 8.0, 16.0]))
+        batched.observe_many(values)
+        for value in values:
+            scalar.observe(float(value))
+        assert batched.bucket_counts == scalar.bucket_counts
+        assert batched.count == scalar.count
+        assert batched.sum == pytest.approx(scalar.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        hist = Histogram(names.ENGINE_BATCH_SIZE)
+        hist.observe_many(np.array([]))
+        assert hist.count == 0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            Histogram(names.ENGINE_BATCH_SIZE, bounds=np.array([]))
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            Histogram(names.ENGINE_BATCH_SIZE, bounds=np.array([1.0, 1.0]))
+
+    def test_default_bounds_are_log2_sizes(self):
+        hist = Histogram(names.ENGINE_BATCH_SIZE)
+        assert hist.bounds[0] == 1.0
+        assert len(hist.bucket_counts) == hist.bounds.size + 1
+
+
+class TestNullRegistry:
+    def test_nulls_are_shared_noop_singletons(self):
+        a = NULL_REGISTRY.counter(names.SKETCH_INSERTS_TOTAL)
+        b = NULL_REGISTRY.counter(names.SKETCH_QUERIES_TOTAL)
+        assert a is b
+        a.inc(100)
+        NULL_REGISTRY.gauge(names.SKETCH_MEMORY_BITS).set(5)
+        NULL_REGISTRY.histogram(names.ENGINE_BATCH_SIZE).observe(1.0)
+        assert len(NULL_REGISTRY) == 0
+        assert list(NULL_REGISTRY) == []
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+
+class TestSweepTraceRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            SweepTraceRing(0)
+
+    def test_partial_fill_is_chronological(self):
+        ring = SweepTraceRing(8)
+        for i in range(3):
+            ring.push(float(i), i, i * 10, 1)
+        assert len(ring) == 3
+        assert ring.total_pushed == 3
+        assert [e["time"] for e in ring.events()] == [0.0, 1.0, 2.0]
+
+    def test_wraparound_keeps_most_recent(self):
+        ring = SweepTraceRing(4)
+        for i in range(10):
+            ring.push(float(i), i, 0, 1)
+        assert len(ring) == 4
+        assert ring.total_pushed == 10
+        assert [e["time"] for e in ring.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_arrays_dtypes_and_order(self):
+        ring = SweepTraceRing(3)
+        for i in range(5):
+            ring.push(float(i), i + 1, i + 2, i + 3)
+        arrays = ring.arrays()
+        assert arrays["time"].dtype == np.float64
+        for column in ("pointer", "cleaned", "steps"):
+            assert arrays[column].dtype == np.int64
+        assert list(arrays["time"]) == [2.0, 3.0, 4.0]
+        assert list(arrays["pointer"]) == [3, 4, 5]
+
+    def test_clear(self):
+        ring = SweepTraceRing(4)
+        ring.push(1.0, 1, 1, 1)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.events() == []
+        assert "held=0" in repr(ring)
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(names.SKETCH_INSERTS_TOTAL, "Items inserted.",
+                labels={"sketch": "ClockBloomFilter"}).inc(42)
+    reg.gauge(names.SKETCH_MEMORY_BITS, "Footprint.",
+              labels={"sketch": "ClockBloomFilter"}).set(8192)
+    hist = reg.histogram(names.ENGINE_BATCH_SECONDS, "Batch seconds.",
+                         bounds=SECONDS_BOUNDS)
+    hist.observe(0.001)
+    hist.observe(0.5)
+    hist.observe(1e9)  # overflow bucket
+    return reg
+
+
+class TestPrometheusExport:
+    def test_round_trips_every_metric_kind(self):
+        reg = _populated_registry()
+        families = obs.parse_prometheus(obs.prometheus_text(reg))
+
+        counter = families[names.SKETCH_INSERTS_TOTAL]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "Items inserted."
+        assert counter["samples"] == [
+            (names.SKETCH_INSERTS_TOTAL,
+             {"sketch": "ClockBloomFilter"}, 42.0),
+        ]
+
+        gauge = families[names.SKETCH_MEMORY_BITS]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"][0][2] == 8192.0
+
+        hist = families[names.ENGINE_BATCH_SECONDS]
+        assert hist["type"] == "histogram"
+        buckets = {labels["le"]: value for series, labels, value
+                   in hist["samples"] if series.endswith("_bucket")}
+        assert buckets["+Inf"] == 3.0
+        # Cumulative counts are non-decreasing in bound order.
+        ordered = [buckets[le]
+                   for le in sorted((k for k in buckets if k != "+Inf"),
+                                    key=float)]
+        assert ordered == sorted(ordered)
+        sums = {series: value for series, labels, value in hist["samples"]
+                if not series.endswith("_bucket")}
+        assert sums[names.ENGINE_BATCH_SECONDS + "_count"] == 3.0
+        assert sums[names.ENGINE_BATCH_SECONDS + "_sum"] == pytest.approx(
+            0.501 + 1e9)
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'line\nbreak "quoted" back\\slash'
+        reg.counter(names.ENGINE_BATCHES_TOTAL,
+                    labels={"path": tricky}).inc()
+        families = obs.parse_prometheus(obs.prometheus_text(reg))
+        ((_, labels, value),) = families[names.ENGINE_BATCHES_TOTAL]["samples"]
+        assert labels["path"] == tricky
+        assert value == 1.0
+
+    def test_help_newline_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(names.ENGINE_BATCHES_TOTAL, "two\nlines").inc()
+        text = obs.prometheus_text(reg)
+        assert "two\\nlines" in text
+        families = obs.parse_prometheus(text)
+        assert families[names.ENGINE_BATCHES_TOTAL]["help"] == "two\nlines"
+
+
+class TestJsonExport:
+    def test_snapshot_round_trips_every_metric_kind(self):
+        reg = _populated_registry()
+        text = obs.snapshot_json(reg)
+        rebuilt = obs.registry_from_snapshot(text)
+        assert rebuilt.snapshot() == reg.snapshot()
+        # And the rebuilt registry snapshots through JSON identically.
+        assert json.loads(obs.snapshot_json(rebuilt)) == json.loads(text)
+
+    def test_bucket_count_mismatch_rejected(self):
+        reg = _populated_registry()
+        snapshot = reg.snapshot()
+        snapshot["histograms"][0]["counts"] = [1, 2]
+        with pytest.raises(ConfigurationError, match="buckets"):
+            obs.registry_from_snapshot(snapshot)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            obs.registry_from_snapshot([1, 2, 3])
+
+
+class TestSwitchboard:
+    def test_disabled_registry_is_the_null_singleton(self):
+        obs.disable()
+        assert obs.registry() is NULL_REGISTRY
+        assert not obs.enabled()
+
+    def test_enable_returns_live_registry(self):
+        reg = obs.enable()
+        assert obs.enabled()
+        assert obs.registry() is reg
+        reg.counter(names.SKETCH_INSERTS_TOTAL).inc()
+        kept = obs.disable()
+        assert kept is reg  # still readable after disable
+        assert obs.registry() is NULL_REGISTRY
+
+    def test_enable_fresh_discards_and_resume_keeps(self):
+        first = obs.enable()
+        first.counter(names.SKETCH_INSERTS_TOTAL).inc()
+        obs.disable()
+        resumed = obs.enable(fresh=False)
+        assert resumed is first
+        fresh = obs.enable(fresh=True)
+        assert fresh is not first
+        assert len(fresh) == 0
+
+    def test_observed_scopes_enablement(self):
+        assert not obs.enabled()
+        with obs.observed() as reg:
+            assert obs.enabled()
+            assert obs.registry() is reg
+        assert not obs.enabled()
+        assert obs.registry() is NULL_REGISTRY
+
+    def test_recorder_cache_does_not_leak_across_enables(self):
+        with obs.observed() as first:
+            runtime.record_insert("X")
+        with obs.observed() as second:
+            runtime.record_insert("X")
+        for reg in (first, second):
+            counter = reg.get(names.SKETCH_INSERTS_TOTAL,
+                              labels={"sketch": "X"})
+            assert counter is not None and counter.value == 1.0
+
+    def test_ring_capacity_configurable(self):
+        obs.enable(ring_capacity=2)
+        ring = obs.sweep_ring()
+        assert ring.capacity == 2
+
+
+class TestTimed:
+    def test_context_manager_records_one_observation(self):
+        with obs.observed() as reg:
+            with obs.timed(names.BENCH_STAGE_SECONDS, {"stage": "unit"}):
+                pass
+        hist = reg.get(names.BENCH_STAGE_SECONDS, labels={"stage": "unit"})
+        assert hist is not None
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_decorator_is_reentrant(self):
+        @obs.timed(names.BENCH_STAGE_SECONDS, {"stage": "recurse"})
+        def factorial(n):
+            return 1 if n <= 1 else n * factorial(n - 1)
+
+        with obs.observed() as reg:
+            assert factorial(4) == 24
+        hist = reg.get(names.BENCH_STAGE_SECONDS, labels={"stage": "recurse"})
+        assert hist.count == 4
+
+    def test_disabled_records_nothing(self):
+        obs.disable()
+        with obs.timed(names.BENCH_STAGE_SECONDS, {"stage": "off"}):
+            pass
+        assert obs.registry() is NULL_REGISTRY
+
+    def test_enable_mid_block_does_not_record(self):
+        # _active is latched on __enter__, so a toggle inside the block
+        # cannot write a partial timing into the fresh registry.
+        timer = obs.timed(names.BENCH_STAGE_SECONDS, {"stage": "latched"})
+        with timer:
+            reg = obs.enable()
+        assert reg.get(names.BENCH_STAGE_SECONDS,
+                       labels={"stage": "latched"}) is None
+
+
+class TestHttpEndpoint:
+    def test_scrapes_prometheus_and_json(self):
+        reg = obs.enable()
+        reg.counter(names.SKETCH_INSERTS_TOTAL).inc(3)
+        with obs.MetricsServer(port=0) as server:
+            text = urllib.request.urlopen(server.url, timeout=5).read()
+            families = obs.parse_prometheus(text.decode("utf-8"))
+            assert families[names.SKETCH_INSERTS_TOTAL]["samples"][0][2] == 3.0
+
+            url = f"http://{server.host}:{server.port}/metrics.json"
+            payload = json.loads(
+                urllib.request.urlopen(url, timeout=5).read())
+            assert payload["counters"][0]["value"] == 3.0
+
+    def test_unknown_path_is_404(self):
+        with obs.MetricsServer(port=0) as server:
+            url = f"http://{server.host}:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+
+
+class TestSketchInstrumentation:
+    def _ingest(self, **kwargs):
+        bf = ClockBloomFilter(n=512, k=3, s=2, window=count_window(128),
+                              seed=1, **kwargs)
+        bf.insert_many(np.arange(400, dtype=np.uint64))
+        return bf
+
+    def test_engine_batch_and_insert_series(self):
+        with obs.observed() as reg:
+            bf = self._ingest()
+            bf.insert(10**9)  # scalar path rides the same insert total
+        labels = {"sketch": "ClockBloomFilter"}
+        inserts = reg.get(names.SKETCH_INSERTS_TOTAL, labels=labels)
+        assert inserts.value == 401.0
+        batches = reg.get(names.ENGINE_BATCHES_TOTAL,
+                          labels={"sketch": "ClockBloomFilter",
+                                  "path": "fused"})
+        assert batches is not None and batches.value == 1.0
+        size_hist = reg.get(names.ENGINE_BATCH_SIZE, labels=labels)
+        assert size_hist.count == 1 and size_hist.sum == 400.0
+
+    def test_query_series(self):
+        with obs.observed() as reg:
+            bf = self._ingest()
+            bf.contains(1)
+            bf.contains_many(np.arange(10, dtype=np.uint64))
+        queries = reg.get(names.SKETCH_QUERIES_TOTAL,
+                          labels={"sketch": "ClockBloomFilter"})
+        assert queries.value >= 2.0
+
+    def test_sweep_ring_collects_batch_sweeps(self):
+        with obs.observed():
+            self._ingest()
+            ring = obs.sweep_ring()
+            assert ring.total_pushed >= 1
+            events = ring.events()
+            assert all(e["steps"] >= 0 for e in events)
+
+    def test_metrics_publishes_gauges_and_occupancy(self):
+        with obs.observed() as reg:
+            bf = self._ingest()
+            bf.metrics()
+        labels = {"sketch": "ClockBloomFilter"}
+        memory = reg.get(names.SKETCH_MEMORY_BITS, labels=labels)
+        assert memory.value == float(bf.memory_bits())
+        fill = reg.get(names.CLOCK_FILL_RATIO, labels=labels)
+        assert 0.0 < fill.value <= 1.0
+        occupancy = reg.get(names.CLOCK_CELL_VALUE, labels=labels)
+        assert occupancy.count > 0
+
+    def test_deferred_mode_reports_sweep_lag(self):
+        with obs.observed() as reg:
+            self._ingest(sweep_mode="deferred")
+        lag = reg.get(names.CLOCK_SWEEP_LAG_STEPS)
+        assert lag is not None
+        assert lag.value >= 0.0
+
+    def test_lock_metrics_from_thread_safe_wrapper(self):
+        with obs.observed() as reg:
+            shared = ThreadSafeSketch(
+                ClockBloomFilter(n=128, k=3, s=2,
+                                 window=count_window(64), seed=1))
+            shared.insert(1)
+            shared.contains(1)
+        acquires = reg.get(names.LOCK_ACQUIRES_TOTAL)
+        assert acquires is not None and acquires.value >= 2.0
+        contention = reg.get(names.LOCK_CONTENTION_TOTAL)
+        assert contention is None or contention.value <= acquires.value
+
+    def test_disabled_ingest_registers_nothing(self):
+        obs.disable()
+        self._ingest()
+        assert len(obs.registry()) == 0
+
+
+class TestCli:
+    def test_json_format_emits_full_catalogue(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["--items", "2000", "--window", "256",
+                     "--memory", "16KB", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        name_set = {entry["name"]
+                    for kind in payload.values() for entry in kind}
+        assert names.SKETCH_INSERTS_TOTAL in name_set
+        assert names.MONITOR_MEMORY_BITS in name_set
+        assert names.CLOCK_SWEEPS_TOTAL in name_set
+
+    def test_prometheus_format_parses(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["--items", "2000", "--window", "256",
+                     "--memory", "16KB", "--format", "prometheus"]) == 0
+        families = obs.parse_prometheus(capsys.readouterr().out)
+        assert names.ENGINE_BATCH_ITEMS_TOTAL in families

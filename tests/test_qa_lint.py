@@ -26,6 +26,7 @@ CASES = {
     "SK103": ("sk103_bad.py", 5, "sk103_good.py"),
     "SK104": ("sk104_bad.py", 2, "sk104_good.py"),
     "SK105": ("sk105_bad.py", 2, "sk105_good.py"),
+    "SK106": ("sk106_bad.py", 4, "sk106_good.py"),
 }
 
 
@@ -80,6 +81,12 @@ class TestScoping:
             == {"SK104"}
         assert {f.rule for f in lint_source(load("sk105_bad.py"), cold)} \
             == {"SK105"}
+
+    def test_sk106_exempts_test_modules(self):
+        cold = "src/repro/contrib/fixture.py"
+        assert {f.rule for f in lint_source(load("sk106_bad.py"), cold)} \
+            == {"SK106"}
+        assert lint_source(load("sk106_bad.py"), "tests/test_obs.py") == []
 
 
 class TestSuppressions:

@@ -1,0 +1,63 @@
+"""Accuracy-audit overhead — auditor-attached vs plain monitored ingest.
+
+Not a paper figure: this enforces the audit plane's documented budget
+(attaching :class:`ShadowAuditor` at the default 1% sample rate costs
+at most ``OVERHEAD_BUDGET_PCT`` = 10% on the 1M-item chunked ingest
+workload; see docs/observability.md). Both sides run with metrics
+enabled, so the measured delta is the audit plane alone. The run's
+metrics snapshot (including the ``repro_audit_*`` series) is archived —
+CI uploads it as a workflow artifact.
+
+Set ``AUDIT_BENCH_QUICK=1`` to run the reduced stream (CI's
+audit-overhead job does; the budget assertion is the same).
+
+Like the obs-overhead gate, the check retries up to ``MAX_ATTEMPTS``
+measurements and keeps the minimum: noise only ever adds apparent
+overhead, so the minimum converges toward the true cost while a genuine
+regression fails every attempt.
+"""
+
+import json
+import os
+
+from repro.bench.experiments import audit_overhead
+
+from conftest import RESULTS_DIR, run_once
+
+MAX_ATTEMPTS = 3
+
+
+def _worst(result):
+    return max(row["overhead_pct"] for row in result.rows)
+
+
+def test_audit_overhead(benchmark, record_result):
+    quick = bool(os.environ.get("AUDIT_BENCH_QUICK"))
+    result = run_once(benchmark, audit_overhead.run, seed=1, quick=quick)
+    for _ in range(MAX_ATTEMPTS - 1):
+        if _worst(result) <= result.extras["budget_pct"]:
+            break
+        retry = audit_overhead.run(seed=1, quick=quick)
+        if _worst(retry) < _worst(result):
+            result = retry
+    record_result("audit_overhead", result)
+
+    payload = {
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
+        "budget_pct": result.extras["budget_pct"],
+    }
+    (RESULTS_DIR / "BENCH_audit_overhead.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+    (RESULTS_DIR / "BENCH_audit_metrics.json").write_text(
+        json.dumps(result.extras["snapshot"], indent=2, sort_keys=True)
+        + "\n")
+
+    budget = result.extras["budget_pct"]
+    for row in result.rows:
+        assert row["audit_cycles"] > 0, "no audit cycles ran during the bench"
+        assert row["overhead_pct"] <= budget, (
+            f"audit overhead {row['overhead_pct']:.1f}% exceeds the "
+            f"{budget:.0f}% budget at {row['sample_rate']:.0%} sampling"
+        )

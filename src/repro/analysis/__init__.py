@@ -22,7 +22,13 @@ from .membership import (
 )
 from .cardinality import cardinality_re_bound, optimal_s_cardinality
 from .timespan import timespan_error, optimal_s_timespan
-from .size import size_error_threshold, optimal_s_size
+from .size import (
+    optimal_s_size,
+    size_abs_error_threshold,
+    size_error_threshold,
+    size_exceed_probability,
+    size_interruption_probability,
+)
 
 __all__ = [
     "membership_fpr",
@@ -34,6 +40,9 @@ __all__ = [
     "optimal_s_cardinality",
     "timespan_error",
     "optimal_s_timespan",
+    "size_abs_error_threshold",
+    "size_interruption_probability",
+    "size_exceed_probability",
     "size_error_threshold",
     "optimal_s_size",
 ]

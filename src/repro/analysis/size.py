@@ -16,9 +16,72 @@ import math
 
 from ..errors import ConfigurationError
 
-__all__ = ["size_error_threshold", "optimal_s_size"]
+__all__ = [
+    "size_abs_error_threshold",
+    "size_interruption_probability",
+    "size_exceed_probability",
+    "size_error_threshold",
+    "optimal_s_size",
+]
 
 DEFAULT_COUNTER_BITS = 16
+
+
+def size_abs_error_threshold(memory_bits: float, window_length: float, s: int,
+                             k: int = 3, birth_rate: float = 1.0,
+                             death_rate: "float | None" = None,
+                             size_rate: "float | None" = None,
+                             counter_bits: int = DEFAULT_COUNTER_BITS,
+                             c: float = math.e) -> float:
+    """Eq (32): the absolute-error threshold of CM+clock.
+
+    With ``n = M / (k (s + b))`` counters per row, the minimum over the
+    ``k`` rows over-counts by more than this threshold with probability
+    at most ``c^-k`` (see :func:`size_exceed_probability`).
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock size must be >= 2, got {s}")
+    if c <= 1:
+        raise ConfigurationError(f"confidence scale c must exceed 1, got {c}")
+    lam1 = death_rate if death_rate is not None else 4.0 / window_length
+    lam2 = size_rate if size_rate is not None else 8.0 / window_length
+    return (
+        c * k * (s + counter_bits) * (birth_rate + lam2)
+        / (memory_bits * lam1 * lam2)
+    )
+
+
+def size_interruption_probability(window_length: float, s: int, k: int = 3,
+                                  birth_rate: float = 1.0,
+                                  death_rate: "float | None" = None) -> float:
+    """§5.4's error-window interruption probability (§5.3's f2 head)."""
+    if s < 2:
+        raise ConfigurationError(f"clock size must be >= 2, got {s}")
+    lam1 = death_rate if death_rate is not None else 4.0 / window_length
+    return (
+        lam1 * window_length
+        / ((lam1 * window_length + birth_rate * ((1 << s) - 2)) * (k + 1))
+    )
+
+
+def size_exceed_probability(window_length: float, s: int, k: int = 3,
+                            birth_rate: float = 1.0,
+                            death_rate: "float | None" = None,
+                            c: float = math.e) -> float:
+    """Probability the size estimate errs beyond eq (32)'s threshold.
+
+    Two disjoint failure modes: the Markov tail of the row minimum
+    (``c^-k``) and an error-window interruption corrupting the batch's
+    counters. Capped at 1; this is what the accuracy auditor compares
+    its observed threshold-exceed rate against.
+    """
+    if c <= 1:
+        raise ConfigurationError(f"confidence scale c must exceed 1, got {c}")
+    tail = c ** float(-k)
+    interruption = size_interruption_probability(
+        window_length, s, k, birth_rate, death_rate
+    )
+    return min(1.0, tail + interruption)
 
 
 def size_error_threshold(memory_bits: float, window_length: float, s: int,
@@ -36,21 +99,12 @@ def size_error_threshold(memory_bits: float, window_length: float, s: int,
     worth of stale count). Lower is better; used only for comparing
     clock widths, as in §5.4's closing discussion.
     """
-    if s < 2:
-        raise ConfigurationError(f"clock size must be >= 2, got {s}")
-    if c <= 1:
-        raise ConfigurationError(f"confidence scale c must exceed 1, got {c}")
-    lam1 = death_rate if death_rate is not None else 4.0 / window_length
-    lam2 = size_rate if size_rate is not None else 8.0 / window_length
-    # Eq (32): threshold with n = M / (k (s + b)) counters per row.
-    threshold = (
-        c * k * (s + counter_bits) * (birth_rate + lam2)
-        / (memory_bits * lam1 * lam2)
+    threshold = size_abs_error_threshold(
+        memory_bits, window_length, s, k, birth_rate, death_rate,
+        size_rate, counter_bits, c,
     )
-    # §5.4's interruption probability (same form as §5.3's f2 head).
-    interruption = (
-        lam1 * window_length
-        / ((lam1 * window_length + birth_rate * ((1 << s) - 2)) * (k + 1))
+    interruption = size_interruption_probability(
+        window_length, s, k, birth_rate, death_rate
     )
     return threshold + window_length * interruption
 

@@ -11,6 +11,7 @@ from . import (
     ablation_model_fit,
     ablation_error_window,
     ablation_hashing,
+    audit_overhead,
     fig05_optimal_clock_activeness,
     fig06_accuracy_activeness,
     fig07_stability_activeness,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "table3": table3_throughput.run,
     "batch": batch_throughput.run,
     "obs": obs_overhead.run,
+    "audit": audit_overhead.run,
     "ablation1": ablation_error_window.run,
     "ablation2": ablation_hashing.run,
     "ablation3": ablation_deferred.run,

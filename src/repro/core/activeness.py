@@ -118,7 +118,8 @@ class ClockBloomFilter(ClockSketchBase):
         cleaner, inserts are chunk-vectorised under that mode's relaxed
         window guarantee.
         """
-        self.engine.ingest_touch(self.deriver.bulk_items(items), times)
+        self.engine.ingest_touch(self.deriver.bulk_items(items), times,
+                                 items=items)
 
     def contains(self, item, t=None) -> bool:
         """Is the item's batch active? (May false-positive, never false-negative

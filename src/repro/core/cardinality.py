@@ -124,7 +124,7 @@ class ClockBitmap(ClockSketchBase):
         :meth:`ClockBloomFilter.insert_many`).
         """
         cells = self.deriver.bulk_single_items(items)
-        self.engine.ingest_touch(cells.reshape(-1, 1), times)
+        self.engine.ingest_touch(cells.reshape(-1, 1), times, items=items)
 
     def query(self, item, t=None) -> bool:
         """Scalar twin of :meth:`query_many`: is the item's single cell live?

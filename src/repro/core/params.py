@@ -15,6 +15,7 @@ from .clockarray import circles_per_window_for
 
 __all__ = [
     "active_load",
+    "error_window_length",
     "optimal_k_membership",
     "cells_for_memory",
     "OPTIMAL_S_MEMBERSHIP",
@@ -36,6 +37,24 @@ def active_load(window_length: float, s: int) -> float:
     if s < 2:
         raise ConfigurationError(f"clock cell size must be >= 2, got {s}")
     return window_length * (1.0 + 1.0 / (2.0 * circles_per_window_for(s)))
+
+
+def error_window_length(window_length: float, s: int) -> float:
+    """Length of the residual error window, ``T / (2^s - 2)``.
+
+    §4's central accuracy statement: after a batch expires, its cells
+    may linger (stay non-zero) for at most one cleaning circle beyond
+    the window — a stretch of this length in which stale positives are
+    legitimate. The accuracy auditor uses it to separate "residual"
+    stale keys (positives allowed) from genuinely expired ones.
+    """
+    if s < 2:
+        raise ConfigurationError(f"clock cell size must be >= 2, got {s}")
+    if window_length <= 0:
+        raise ConfigurationError(
+            f"window length must be positive, got {window_length}"
+        )
+    return window_length / circles_per_window_for(s)
 
 
 def optimal_k_membership(n: int, window_length: float, s: int) -> int:

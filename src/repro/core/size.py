@@ -176,7 +176,8 @@ class ClockCountMin(ClockSketchBase):
         through ``np.add.at`` — the stand-in for the paper's
         SIMD+thread mode.
         """
-        self.engine.ingest_countmin(self._flat_matrix(items), times)
+        self.engine.ingest_countmin(self._flat_matrix(items), times,
+                                    items=items)
 
     def query(self, item, t=None) -> int:
         """Estimated size of the item's active batch (0 when inactive)."""

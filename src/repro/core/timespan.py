@@ -153,7 +153,8 @@ class ClockTimeSpanSketch(ClockSketchBase):
         timestamp if the cell is empty" reduces to a per-cell minimum
         over the chunk's arrival times.
         """
-        self.engine.ingest_timespan(self.deriver.bulk_items(items), times)
+        self.engine.ingest_timespan(self.deriver.bulk_items(items), times,
+                                    items=items)
 
     def query(self, item, t=None) -> TimeSpanResult:
         """Time span of the item's batch at time ``t`` (or the latest time)."""

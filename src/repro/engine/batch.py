@@ -54,11 +54,18 @@ class BatchEngine:
         only writer of its temporal counters during a batch.
     """
 
-    __slots__ = ("sketch", "min_fused")
+    __slots__ = ("sketch", "min_fused", "tap")
 
     def __init__(self, sketch):
         self.sketch = sketch
         self.min_fused = DEFAULT_MIN_FUSED
+        #: Optional audit tap: ``tap(items, times_arr)`` called once per
+        #: batch with the original stream items and their resolved
+        #: arrival times, *before* the batch is applied (and outside the
+        #: timed section, so engine latency histograms stay pure).
+        #: Installed by ``ItemBatchMonitor.audited()``; None costs one
+        #: attribute check per batch.
+        self.tap = None
 
     # ------------------------------------------------------------------
     # Shared plumbing
@@ -128,12 +135,14 @@ class BatchEngine:
     # Per-structure ingestion
     # ------------------------------------------------------------------
 
-    def ingest_touch(self, index_matrix: np.ndarray, times=None) -> None:
+    def ingest_touch(self, index_matrix: np.ndarray, times=None,
+                     items=None) -> None:
         """Batch of plain clock touches (BF+clock, BM+clock).
 
         ``index_matrix`` is ``(N, k)`` cell indexes in arrival order
         (bitmaps pass ``k = 1``); ``times`` follows ``insert_many``'s
-        contract.
+        contract; ``items`` is the original stream batch, forwarded to
+        the audit tap when one is installed.
         """
         sketch = self.sketch
         clock = sketch.clock
@@ -141,6 +150,8 @@ class BatchEngine:
         times_arr = sketch._insert_times_many(count, times)
         if not count:
             return
+        if self.tap is not None and items is not None:
+            self.tap(items, times_arr)
         started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred:
 
@@ -168,7 +179,8 @@ class BatchEngine:
         if _obs.ENABLED:
             self._record(count, path, started)
 
-    def ingest_timespan(self, index_matrix: np.ndarray, times=None) -> None:
+    def ingest_timespan(self, index_matrix: np.ndarray, times=None,
+                        items=None) -> None:
         """Batch of touches plus first-writer timestamps (BF-ts+clock)."""
         sketch = self.sketch
         clock = sketch.clock
@@ -179,6 +191,8 @@ class BatchEngine:
             return
         if times_arr[0] <= 0:
             raise TimeError("time-span sketch requires positive stream times")
+        if self.tap is not None and items is not None:
+            self.tap(items, times_arr)
         k = index_matrix.shape[1]
         started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred:
@@ -226,7 +240,8 @@ class BatchEngine:
         if _obs.ENABLED:
             self._record(count, path, started)
 
-    def ingest_countmin(self, flat_matrix: np.ndarray, times=None) -> None:
+    def ingest_countmin(self, flat_matrix: np.ndarray, times=None,
+                        items=None) -> None:
         """Batch of counter bumps plus touches (CM+clock).
 
         Conservative update inspects the counters it is about to bump,
@@ -240,6 +255,8 @@ class BatchEngine:
         times_arr = sketch._insert_times_many(count, times)
         if not count:
             return
+        if self.tap is not None and items is not None:
+            self.tap(items, times_arr)
         started = perf_counter() if _obs.ENABLED else 0.0
         if clock.is_deferred and not sketch.conservative:
             counter_max = sketch.counter_max

@@ -129,11 +129,49 @@ class ItemBatchMonitor:
         self._sketches = [s for s in (self.activeness, self.cardinality,
                                       self.size_sketch, self.span_sketch)
                           if s is not None]
+        self.seed = seed
+        self._auditor = None
+
+    def audited(self, sample_rate: float = 0.01, every_items=None,
+                seed=None, predictor=None, detector=None):
+        """Attach a live accuracy auditor; returns the auditor.
+
+        Installs a :class:`~repro.obs.audit.ShadowAuditor` on the batch
+        engine's ingest tap: a hash-sampled fraction of keys is tracked
+        exactly, and every ``every_items`` stream items the sampled keys
+        are replayed against the live sketches to measure observed
+        error, compare it against the analytic prediction, and raise
+        drift alerts. See ``docs/observability.md``.
+        """
+        from .obs.audit import ShadowAuditor
+
+        auditor = ShadowAuditor(
+            self, sample_rate=sample_rate, every_items=every_items,
+            seed=self.seed if seed is None else seed,
+            predictor=predictor, detector=detector,
+        )
+        self._auditor = auditor
+        # Tap only the first sketch's engine: every enabled structure
+        # sees the same batches, so one tap per monitor batch suffices.
+        self._sketches[0].engine.tap = auditor.ingest
+        return auditor
+
+    @property
+    def auditor(self):
+        """The attached :class:`ShadowAuditor`, or None."""
+        return self._auditor
 
     def observe(self, key, t=None) -> None:
         """Record one occurrence of ``key`` in every enabled structure."""
         for sketch in self._sketches:
             sketch.insert(key, t)
+        auditor = self._auditor
+        if auditor is not None:
+            # The scalar path bypasses the batch engine (and its tap),
+            # so feed the sampler directly with the resolved time.
+            auditor.ingest_one(key, self._sketches[0].now)
+            if auditor.due:
+                auditor.audit()
 
     def observe_many(self, keys, times=None) -> None:
         """Record a batch of occurrences through every bulk path.
@@ -144,6 +182,9 @@ class ItemBatchMonitor:
         """
         for sketch in self._sketches:
             sketch.insert_many(keys, times)
+        auditor = self._auditor
+        if auditor is not None and auditor.due:
+            auditor.audit()
 
     def observe_stream(self, stream) -> None:
         """Feed a whole :class:`~repro.streams.Stream` (bulk paths)."""

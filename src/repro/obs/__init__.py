@@ -8,11 +8,17 @@ A low-overhead observability layer for the clock-sketch stack:
 - a fixed-size sweep-trace ring (:mod:`repro.obs.ring`) recording
   every cleaning sweep's timestamp, pointer position, and cells
   cleaned;
+- a structured-event ring (:mod:`repro.obs.events`) carrying the
+  audit plane's drift alerts and other severity-tagged events;
 - the process-wide switchboard (:mod:`repro.obs.runtime`):
   instrumentation in ``core/``, ``engine/``, ``concurrent`` and
   ``monitor`` is nil-cost until :func:`enable` (or the
   :func:`observed` context manager) turns it on;
 - profiling hooks (:class:`timed`) used by the bench harness;
+- the live accuracy-auditing plane (:mod:`repro.obs.audit`, imported
+  lazily): shadow-truth sampling, analytic error prediction, and
+  drift alerts — entry point ``ItemBatchMonitor.audited()`` or
+  ``python -m repro.obs audit --demo``;
 - an optional stdlib HTTP endpoint (:class:`MetricsServer`, imported
   lazily — see :mod:`repro.obs.http`) and a CLI
   (``python -m repro.obs``).
@@ -35,6 +41,7 @@ from __future__ import annotations
 from typing import Any
 
 from . import names
+from .events import SEVERITIES, EventRing, ObsEvent
 from .export import (
     parse_prometheus,
     prometheus_text,
@@ -56,8 +63,11 @@ from .runtime import (
     disable,
     enable,
     enabled,
+    event_ring,
     observed,
+    record_event,
     registry,
+    rings_snapshot,
     sweep_ring,
     timed,
 )
@@ -71,6 +81,9 @@ __all__ = [
     "observed",
     "registry",
     "sweep_ring",
+    "event_ring",
+    "rings_snapshot",
+    "record_event",
     "timed",
     # primitives
     "Counter",
@@ -80,6 +93,9 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "SweepTraceRing",
+    "EventRing",
+    "ObsEvent",
+    "SEVERITIES",
     "SECONDS_BOUNDS",
     "SIZE_BOUNDS",
     # exposition
@@ -89,14 +105,19 @@ __all__ = [
     "registry_from_snapshot",
     # lazy
     "MetricsServer",
+    "audit",
 ]
 
 
 def __getattr__(name: str) -> Any:
-    # MetricsServer pulls in http.server; load it only on first use so
+    # MetricsServer pulls in http.server, and the audit plane pulls in
+    # the monitor/analysis stack; load either only on first use so
     # importing repro.obs (which every instrumented module does) stays
     # cheap.
     if name == "MetricsServer":
         from .http import MetricsServer
         return MetricsServer
+    if name == "audit":
+        from . import audit
+        return audit
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

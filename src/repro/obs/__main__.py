@@ -7,8 +7,17 @@ the requested exposition format (or serves it over HTTP with
 emits, and as the quickest way to eyeball the metric catalogue::
 
     python -m repro.obs --items 100000 --format prometheus
+    python -m repro.obs --format json --rings
     python -m repro.obs --serve --serve-seconds 30 &
     curl http://127.0.0.1:9464/metrics
+
+The ``audit`` subcommand attaches the live accuracy auditor
+(:mod:`repro.obs.audit`) to the monitor and prints each cycle's
+observed-vs-predicted error table::
+
+    python -m repro.obs audit --demo
+    python -m repro.obs audit --demo --undersized   # trips drift alerts
+    python -m repro.obs audit --watch               # live redrawn view
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ import time
 
 from ..monitor import ItemBatchMonitor
 from ..timebase import count_window
-from . import runtime
+from . import names, runtime
 from .export import prometheus_text, snapshot_json
 
 
@@ -44,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", dest="fmt", default="prometheus",
                         choices=("prometheus", "json"),
                         help="exposition printed to stdout")
+    parser.add_argument("--rings", action="store_true",
+                        help="embed the sweep-trace and event rings in "
+                             "--format json output")
     parser.add_argument("--serve", action="store_true",
                         help="serve /metrics over HTTP instead of printing")
     parser.add_argument("--port", type=int, default=9464,
@@ -51,11 +63,113 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--serve-seconds", type=float, default=0.0,
                         help="stop serving after this many seconds "
                              "(default: serve until interrupted)")
+
+    sub = parser.add_subparsers(dest="command")
+    audit = sub.add_parser(
+        "audit",
+        help="attach the live accuracy auditor and print its cycles",
+        description="Drive a monitored stream with the shadow-truth "
+                    "accuracy auditor attached; prints observed vs "
+                    "predicted error per task and any drift alerts.",
+    )
+    audit.add_argument("--items", type=int, default=200_000,
+                       help="stream length (default 200000)")
+    audit.add_argument("--window", type=int, default=4096,
+                       help="count window T in items (default 4096)")
+    audit.add_argument("--memory", default="128KB",
+                       help="monitor memory budget (default 128KB)")
+    audit.add_argument("--undersized", action="store_true",
+                       help="shrink the budget to 2KB to demonstrate "
+                            "drift/budget alerts")
+    audit.add_argument("--sample-rate", type=float, default=0.05,
+                       help="shadow-sampled key fraction (default 0.05)")
+    audit.add_argument("--every", type=int, default=None,
+                       help="audit cadence in items (default: auto)")
+    audit.add_argument("--chunk", type=int, default=4096,
+                       help="insert_many chunk size (default 4096)")
+    audit.add_argument("--dataset", default="caida",
+                       choices=("caida", "criteo", "network"),
+                       help="synthetic trace to replay (default caida)")
+    audit.add_argument("--seed", type=int, default=1)
+    audit.add_argument("--demo", action="store_true",
+                       help="print every audit cycle as it completes")
+    audit.add_argument("--watch", action="store_true",
+                       help="redraw a live view per cycle (implies --demo)")
     return parser
+
+
+def _quantile_line(registry) -> "str | None":
+    """Latency/error quantile footer for the watch view."""
+    cycle_h = registry.get(names.AUDIT_CYCLE_SECONDS)
+    if cycle_h is None or cycle_h.count == 0:
+        return None
+    parts = [
+        f"cycle p50={cycle_h.quantile(0.5) * 1e3:.2f}ms "
+        f"p95={cycle_h.quantile(0.95) * 1e3:.2f}ms"
+    ]
+    for task in ("size", "span"):
+        hist = registry.get(names.AUDIT_ABS_ERROR, {"task": task})
+        if hist is not None and hist.count:
+            parts.append(
+                f"{task} |err| p50={hist.quantile(0.5):.3g} "
+                f"p95={hist.quantile(0.95):.3g}"
+            )
+    return "  " + "  |  ".join(parts)
+
+
+def _print_report(report, registry, watch: bool) -> None:
+    if watch:
+        sys.stdout.write("\x1b[2J\x1b[H")
+    for line in report.lines():
+        print(line)
+    footer = _quantile_line(registry)
+    if footer is not None:
+        print(footer)
+    if not watch:
+        print()
+    sys.stdout.flush()
+
+
+def run_audit(args) -> int:
+    from ..datasets import get_dataset
+
+    registry = runtime.enable(fresh=True)
+    memory = "2KB" if args.undersized else args.memory
+    monitor = ItemBatchMonitor(count_window(args.window), memory=memory,
+                               seed=args.seed)
+    auditor = monitor.audited(sample_rate=args.sample_rate,
+                              every_items=args.every)
+    stream = get_dataset(args.dataset, n_items=args.items,
+                         window_hint=args.window, seed=args.seed)
+    keys = stream.keys
+    verbose = args.demo or args.watch
+
+    cycles_printed = 0
+    for pos in range(0, len(keys), max(1, args.chunk)):
+        monitor.observe_many(keys[pos:pos + args.chunk])
+        report = auditor.last_report
+        if (verbose and report is not None
+                and report.cycle > cycles_printed):
+            _print_report(report, registry, args.watch)
+            cycles_printed = report.cycle
+
+    # Always close with a final cycle over the full stream, so even a
+    # stream shorter than the cadence produces one report.
+    report = auditor.audit()
+    _print_report(report, registry, args.watch)
+    worst = {"info": 0, "warning": 1, "critical": 2}
+    severity = max((worst[a.severity] for a in report.alerts), default=0)
+    # Alerts are the tool's finding, not a failure of the tool.
+    print(f"done: {report.cycle} audit cycles, "
+          f"{len(report.alerts)} alerts in the final cycle"
+          + (" (see above)" if severity else ""))
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "audit":
+        return run_audit(args)
 
     # Import lazily: the dataset synthesizers pull in the heavier parts
     # of the library, which pure exposition users never need.
@@ -86,7 +200,8 @@ def main(argv: "list[str] | None" = None) -> int:
         finally:
             server.stop()
     elif args.fmt == "json":
-        print(snapshot_json(registry))
+        rings = runtime.rings_snapshot() if args.rings else None
+        print(snapshot_json(registry, rings=rings))
     else:
         print(prometheus_text(registry), end="")
     return 0

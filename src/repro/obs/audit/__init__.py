@@ -1,0 +1,35 @@
+"""Live accuracy auditing: shadow truth, analytic prediction, drift.
+
+The audit plane answers "is the sketch as accurate as the paper says it
+should be, on *this* stream, right now?" in three parts:
+
+- :class:`ShadowSampler` — deterministic per-key hash sampling;
+- :class:`ShadowAuditor` — exact :class:`BatchTracker` shadow of the
+  sampled keys, replayed against the live sketches on a cadence to
+  measure per-task error;
+- :class:`AnalyticPredictor` + :class:`DriftDetector` — §5's
+  closed-form error models as the reference, with structured alerts
+  when observed error leaves the predicted band.
+
+Entry point: ``monitor.audited(sample_rate=0.01)`` (see
+:meth:`repro.monitor.ItemBatchMonitor.audited`), or
+``python -m repro.obs audit --demo`` for a self-contained tour.
+"""
+
+from .drift import DEFAULT_BANDS, DriftAlert, DriftBand, DriftDetector
+from .predictor import AnalyticPredictor, TaskPrediction
+from .sampler import ShadowSampler
+from .shadow import AuditReport, ShadowAuditor, TaskAudit
+
+__all__ = [
+    "ShadowSampler",
+    "AnalyticPredictor",
+    "TaskPrediction",
+    "DriftBand",
+    "DriftAlert",
+    "DriftDetector",
+    "DEFAULT_BANDS",
+    "ShadowAuditor",
+    "AuditReport",
+    "TaskAudit",
+]

@@ -1,0 +1,185 @@
+"""Drift detection: observed error vs predicted error, with alerts.
+
+Four alert kinds, from mild to severe:
+
+- ``predicted-budget`` (info) — the *model itself* predicts error above
+  the task's absolute ceiling: the sketch is undersized for its window
+  no matter what the stream does.
+- ``divergence`` (warning) — observed error exceeds the band around the
+  prediction (``factor * predicted + slack + sampling noise``): the
+  stream violates the analysis' assumptions (adversarial keys, load
+  spikes, a lagging cleaner).
+- ``budget`` (warning) — observed error exceeds the absolute ceiling,
+  regardless of what was predicted. This is the operational symptom of
+  an undersized sketch: a correct model predicts the high error, so
+  divergence alone would stay silent.
+- ``violation`` (critical) — a structural guarantee broke: activeness
+  or span reported a false *negative* inside the window, or size
+  underestimated an unsaturated batch. The clock construction makes
+  these impossible, so any occurrence is a bug or corruption.
+
+The sampling-noise term widens the divergence band by three standard
+errors of the audited statistic, so small shadow samples do not page
+anyone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ...errors import ConfigurationError
+
+__all__ = ["DriftBand", "DriftAlert", "DriftDetector", "DEFAULT_BANDS"]
+
+
+@dataclass(frozen=True)
+class DriftBand:
+    """Per-task tolerance: divergence factor, slack, absolute ceiling."""
+
+    factor: float = 3.0
+    slack: float = 0.05
+    ceiling: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"band factor must be >= 1, got {self.factor}"
+            )
+        if self.slack < 0.0 or self.ceiling <= 0.0:
+            raise ConfigurationError(
+                f"band slack must be >= 0 and ceiling > 0, "
+                f"got slack={self.slack}, ceiling={self.ceiling}"
+            )
+
+
+#: Default bands. Activeness predictions are sharp (fill^k), so its
+#: band is tight; span/size models lean on §5's stream-model rates and
+#: get wider ones.
+DEFAULT_BANDS: "Dict[str, DriftBand]" = {
+    "activeness": DriftBand(factor=3.0, slack=0.02, ceiling=0.25),
+    "cardinality": DriftBand(factor=3.0, slack=0.05, ceiling=0.5),
+    "size": DriftBand(factor=5.0, slack=0.05, ceiling=0.75),
+    "span": DriftBand(factor=5.0, slack=0.05, ceiling=0.5),
+}
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One raised alert (also recorded as an obs event)."""
+
+    task: str
+    kind: str
+    severity: str
+    observed: float
+    predicted: float
+    threshold: float
+    message: str
+    fields: "Mapping[str, Any]" = field(default_factory=dict)
+
+
+class DriftDetector:
+    """Checks an :class:`AuditReport` against per-task drift bands.
+
+    Parameters
+    ----------
+    bands:
+        ``{task: DriftBand}`` overrides, merged over
+        :data:`DEFAULT_BANDS`.
+    sample_rate:
+        The shadow sampler's rate — needed to size the cardinality
+        statistic's sampling-noise allowance.
+    """
+
+    def __init__(self, bands: "Optional[Mapping[str, DriftBand]]" = None,
+                 sample_rate: float = 1.0):
+        merged = dict(DEFAULT_BANDS)
+        if bands:
+            merged.update(bands)
+        self.bands = merged
+        self.sample_rate = float(sample_rate)
+
+    def band_for(self, task: str) -> DriftBand:
+        return self.bands.get(task, DriftBand())
+
+    def noise_allowance(self, task: str, predicted: float,
+                        samples: int) -> float:
+        """Three standard errors of the audited statistic.
+
+        Rate statistics get the binomial standard error at the
+        predicted rate plus a ``3/n`` floor (so one stray key in a tiny
+        sample cannot alert); the cardinality relative error gets the
+        binomial noise of scaling an ``n``-key sample by ``1/rate``.
+        """
+        if samples <= 0:
+            return math.inf
+        if task == "cardinality":
+            return 3.0 * math.sqrt((1.0 - self.sample_rate) / samples)
+        p = min(max(predicted, 0.0), 1.0)
+        return 3.0 * math.sqrt(p * (1.0 - p) / samples) + 3.0 / samples
+
+    def band_limit(self, task: str, predicted: float, samples: int) -> float:
+        """The divergence threshold for one task's primary statistic."""
+        band = self.band_for(task)
+        return (band.factor * predicted + band.slack
+                + self.noise_allowance(task, predicted, samples))
+
+    def check(self, report) -> "List[DriftAlert]":
+        """All alerts an :class:`AuditReport` warrants, worst first."""
+        alerts: "List[DriftAlert]" = []
+        for task, audit in report.tasks.items():
+            band = self.band_for(task)
+            for name, value in audit.violations.items():
+                if value > 0:
+                    alerts.append(DriftAlert(
+                        task=task, kind="violation", severity="critical",
+                        observed=float(value), predicted=0.0, threshold=0.0,
+                        message=(f"{task}: guarantee violation "
+                                 f"({name}={value:g})"),
+                        fields={"stat": name},
+                    ))
+            limit = (audit.band_hi
+                     if audit.band_hi is not None
+                     else self.band_limit(task, audit.predicted,
+                                          audit.samples))
+            if audit.samples > 0 and audit.observed > limit:
+                alerts.append(DriftAlert(
+                    task=task, kind="divergence", severity="warning",
+                    observed=audit.observed, predicted=audit.predicted,
+                    threshold=limit,
+                    message=(f"{task}: observed {audit.stat} "
+                             f"{audit.observed:.4g} exceeds band "
+                             f"{limit:.4g} around predicted "
+                             f"{audit.predicted:.4g}"),
+                    fields={"stat": audit.stat, "samples": audit.samples},
+                ))
+            # The budget check gets the same sampling-noise allowance as
+            # divergence, so a handful of shadow keys cannot trip it.
+            budget_limit = band.ceiling + self.noise_allowance(
+                task, audit.predicted, audit.samples
+            )
+            if audit.samples > 0 and audit.observed > budget_limit:
+                alerts.append(DriftAlert(
+                    task=task, kind="budget", severity="warning",
+                    observed=audit.observed, predicted=audit.predicted,
+                    threshold=band.ceiling,
+                    message=(f"{task}: observed {audit.stat} "
+                             f"{audit.observed:.4g} exceeds the "
+                             f"{band.ceiling:g} error budget"),
+                    fields={"stat": audit.stat, "samples": audit.samples},
+                ))
+            if audit.predicted > band.ceiling:
+                alerts.append(DriftAlert(
+                    task=task, kind="predicted-budget", severity="info",
+                    observed=audit.observed, predicted=audit.predicted,
+                    threshold=band.ceiling,
+                    message=(f"{task}: predicted {audit.stat} "
+                             f"{audit.predicted:.4g} exceeds the "
+                             f"{band.ceiling:g} error budget — "
+                             f"sketch undersized for this window"),
+                    fields={"stat": audit.stat},
+                ))
+        severity_rank = {"critical": 0, "warning": 1, "info": 2}
+        alerts.sort(key=lambda a: (severity_rank[a.severity], a.task, a.kind))
+        return alerts

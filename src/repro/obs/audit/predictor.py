@@ -1,0 +1,176 @@
+"""Analytic error prediction from the live sketch configuration.
+
+:class:`AnalyticPredictor` turns the paper's closed-form error models
+(:mod:`repro.analysis`, one per task) plus the *live* fill-rate gauges
+into a per-task expected error — the reference the drift detector
+compares observed error against.
+
+Two kinds of prediction are combined:
+
+- **configuration-level** (memory, window, ``s``, ``k``): the §5
+  formulas evaluated at the monitor's actual parameters — what the
+  error *should* be if the stream matches the analysis' load model;
+- **state-level** (live fill ratio): for activeness, the empirical
+  Bloom argument — a stale key's ``k`` probes each land in an occupied
+  cell with probability ``fill``, so the live FP expectation is
+  ``fill^k``, tracking the actual stream instead of the model's load.
+  When a fill estimate is available it is the primary prediction
+  (reading the published ``repro_sketch_fill_ratio`` gauge when obs is
+  enabled, the sketch's own ``fill_ratio()`` otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ...analysis import (
+    cardinality_re_bound,
+    membership_fpr,
+    size_abs_error_threshold,
+    size_exceed_probability,
+    timespan_error,
+)
+from ...core.params import error_window_length
+from .. import names
+from .. import runtime as _obs
+
+__all__ = ["AnalyticPredictor", "TaskPrediction"]
+
+
+@dataclass(frozen=True)
+class TaskPrediction:
+    """One task's expected-error statement.
+
+    ``expected`` predicts the observed statistic named by ``stat``
+    (e.g. ``fp_rate`` for activeness); ``detail`` carries secondary
+    model outputs the auditor needs (the size task's absolute-error
+    threshold, the residual error-window length, the fill ratio used).
+    """
+
+    task: str
+    stat: str
+    expected: float
+    detail: "Mapping[str, float]" = field(default_factory=dict)
+
+
+def _live_fill(sketch) -> float:
+    """Live fill ratio: published gauge if present, else direct sample."""
+    gauge = _obs.registry().get(
+        names.SKETCH_FILL_RATIO, {"sketch": type(sketch).__name__}
+    )
+    if gauge is not None:
+        return float(gauge.value)
+    return float(sketch.clock.fill_ratio())
+
+
+class AnalyticPredictor:
+    """Computes per-task expected error for an :class:`ItemBatchMonitor`.
+
+    Parameters
+    ----------
+    monitor:
+        Any object with the monitor's task attributes (``activeness``,
+        ``cardinality``, ``size_sketch``, ``span_sketch`` — enabled
+        ones non-None) and a ``window``.
+    delta:
+        Confidence parameter of the cardinality bound (eq 15).
+    birth_rate, death_rate:
+        §5.3/§5.4's stream-model rates (births per time unit and
+        ``λ1``); defaults match the analysis modules' defaults.
+    """
+
+    def __init__(self, monitor, delta: float = 0.8,
+                 birth_rate: float = 1.0,
+                 death_rate: "Optional[float]" = None,
+                 confidence: float = math.e):
+        self.monitor = monitor
+        self.delta = float(delta)
+        self.birth_rate = float(birth_rate)
+        self.death_rate = death_rate
+        self.confidence = float(confidence)
+
+    def predict(self) -> "Dict[str, TaskPrediction]":
+        """Expected error for every enabled task, keyed by task name."""
+        out: "Dict[str, TaskPrediction]" = {}
+        monitor = self.monitor
+        window_length = monitor.window.length
+
+        sketch = monitor.activeness
+        if sketch is not None:
+            model_fpr = membership_fpr(sketch.memory_bits(), window_length,
+                                       sketch.s, k=sketch.k)
+            fill = _live_fill(sketch)
+            live_fpr = fill ** sketch.k
+            out["activeness"] = TaskPrediction(
+                task="activeness", stat="fp_rate",
+                expected=live_fpr if fill > 0.0 else model_fpr,
+                detail={
+                    "model_fpr": model_fpr,
+                    "fill": fill,
+                    "error_window": error_window_length(window_length,
+                                                        sketch.s),
+                },
+            )
+
+        sketch = monitor.cardinality
+        if sketch is not None:
+            out["cardinality"] = TaskPrediction(
+                task="cardinality", stat="re",
+                expected=cardinality_re_bound(sketch.memory_bits(), sketch.s,
+                                              self.delta),
+                detail={
+                    "delta": self.delta,
+                    "fill": _live_fill(sketch),
+                    "error_window": error_window_length(window_length,
+                                                        sketch.s),
+                },
+            )
+
+        sketch = monitor.size_sketch
+        if sketch is not None:
+            threshold = size_abs_error_threshold(
+                sketch.memory_bits(), window_length, sketch.s,
+                k=sketch.depth, birth_rate=self.birth_rate,
+                death_rate=self.death_rate,
+                counter_bits=sketch.counter_bits, c=self.confidence,
+            )
+            out["size"] = TaskPrediction(
+                task="size", stat="exceed_rate",
+                expected=size_exceed_probability(
+                    window_length, sketch.s, k=sketch.depth,
+                    birth_rate=self.birth_rate, death_rate=self.death_rate,
+                    c=self.confidence,
+                ),
+                detail={
+                    "abs_threshold": threshold,
+                    "fill": _live_fill(sketch),
+                    "error_window": error_window_length(window_length,
+                                                        sketch.s),
+                },
+            )
+
+        sketch = monitor.span_sketch
+        if sketch is not None:
+            out["span"] = TaskPrediction(
+                task="span", stat="err_rate",
+                expected=timespan_error(sketch.memory_bits(), window_length,
+                                        sketch.s, k=sketch.k,
+                                        birth_rate=self.birth_rate,
+                                        death_rate=self.death_rate),
+                detail={
+                    "fill": _live_fill(sketch),
+                    "error_window": error_window_length(window_length,
+                                                        sketch.s),
+                },
+            )
+        return out
+
+    def as_dict(self) -> "Dict[str, Any]":
+        """JSON-friendly image of the current predictions."""
+        return {
+            task: {"stat": p.stat, "expected": p.expected,
+                   "detail": dict(p.detail)}
+            for task, p in self.predict().items()
+        }

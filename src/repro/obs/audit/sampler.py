@@ -1,0 +1,75 @@
+"""Deterministic per-key hash sampling for the shadow auditor.
+
+The shadow tracker cannot afford exact state for every key, so it keeps
+it for a hash-defined fraction of the key space: key ``x`` is sampled
+iff ``h(x) < rate * 2^64`` for a seeded 64-bit hash ``h``. Two
+properties make this the right sampling scheme for accuracy auditing:
+
+- **per-key all-or-nothing** — every occurrence of a sampled key is
+  sampled, so batch sizes, spans, and activeness of sampled keys are
+  *exact*, not subsampled;
+- **deterministic** — the same seed yields the same subset across the
+  scalar and vectorized ingest paths, across processes, and across
+  replays, so audits are reproducible.
+
+Hashing rides the existing :mod:`repro.hashing` family machinery
+(splitmix64 for integer key arrays, the family's ``hash_many`` for
+arbitrary items), via a private single-cell :class:`IndexDeriver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...hashing import IndexDeriver
+
+__all__ = ["ShadowSampler"]
+
+_TWO64 = 1 << 64
+
+
+class ShadowSampler:
+    """Seeded hash-threshold sampler over stream keys.
+
+    Parameters
+    ----------
+    rate:
+        Sampled fraction of the key space, in ``(0, 1]``.
+    seed:
+        Hash seed. Use a seed independent of the sketches' so the
+        sampled subset is uncorrelated with cell placement.
+    family:
+        Optional hash family for non-integer items (defaults to the
+        library's default family at ``seed``).
+    """
+
+    __slots__ = ("rate", "seed", "_threshold", "_deriver")
+
+    def __init__(self, rate: float, seed: int = 0, family=None):
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(
+                f"sample rate must be in (0, 1], got {rate}"
+            )
+        self.rate = float(rate)
+        self.seed = int(seed)
+        threshold = int(round(self.rate * _TWO64))
+        #: None means "sample everything" (rate rounds up to 2^64).
+        self._threshold = None if threshold >= _TWO64 else threshold
+        self._deriver = IndexDeriver(n=1, k=1, seed=self.seed, family=family)
+
+    def mask(self, items) -> np.ndarray:
+        """Boolean sample mask aligned with ``items`` (vectorized)."""
+        hashes = self._deriver.base_hashes_many(items)
+        if self._threshold is None:
+            return np.ones(hashes.shape, dtype=bool)
+        return hashes < np.uint64(self._threshold)
+
+    def contains(self, item) -> bool:
+        """Is this key in the sampled subset? (Scalar twin of :meth:`mask`.)"""
+        if self._threshold is None:
+            return True
+        return self._deriver.base_hash(item) < self._threshold
+
+    def __repr__(self) -> str:
+        return f"ShadowSampler(rate={self.rate}, seed={self.seed})"

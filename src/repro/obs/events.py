@@ -1,0 +1,143 @@
+"""Structured observability events: severities and a fixed-size ring.
+
+Where the sweep-trace ring records *regular* telemetry (one event per
+cleaning sweep), this module records *irregular* operational events —
+drift alerts from the accuracy auditor, guarantee violations, lifecycle
+notices. Each event carries a severity (``info`` / ``warning`` /
+``critical``), a machine-readable ``kind``, the stream time it refers
+to, and a small free-form payload.
+
+Events land in an :class:`EventRing` (same overwriting semantics and
+read-back surface as :class:`~repro.obs.ring.SweepTraceRing`) and are
+also counted into the ``repro_obs_events_total`` counter, labelled by
+severity and kind, so alert rates are visible on ``/metrics`` even
+after the ring has wrapped. The ring itself is exported through
+``/metrics.json`` and ``python -m repro.obs --rings``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["ObsEvent", "EventRing", "SEVERITIES"]
+
+#: Legal event severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observability event.
+
+    Attributes
+    ----------
+    time:
+        Stream time the event refers to (item count or timestamp —
+        whatever the emitting subsystem's window uses), *not* wall
+        clock: events must be reproducible across replays.
+    severity:
+        One of :data:`SEVERITIES`.
+    kind:
+        Machine-readable event class (``"divergence"``, ``"budget"``,
+        ``"violation"``, ...). Used as a counter label, so keep the
+        vocabulary small.
+    message:
+        Human-readable one-liner.
+    fields:
+        Small JSON-friendly payload (task name, observed/predicted
+        values, ...).
+    """
+
+    time: float
+    severity: str
+    kind: str
+    message: str
+    fields: "Mapping[str, Any]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"event severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+
+    def as_dict(self) -> "Dict[str, Any]":
+        """JSON-friendly image of the event."""
+        return {
+            "time": float(self.time),
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+            "fields": dict(self.fields),
+        }
+
+
+class EventRing:
+    """Overwriting ring of the most recent ``capacity`` events.
+
+    Same shape as :class:`~repro.obs.ring.SweepTraceRing`: pushes
+    overwrite the oldest entry once full, ``total_pushed`` keeps
+    counting, and read-back is chronological. Events are irregular and
+    orders of magnitude rarer than sweeps, so entries are stored as the
+    :class:`ObsEvent` objects themselves rather than parallel columns.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"ring capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: "List[Optional[ObsEvent]]" = [None] * self.capacity
+        self._next = 0
+        self._total = 0
+
+    def push(self, event: ObsEvent) -> None:
+        """Record one event, overwriting the oldest when full."""
+        i = self._next
+        self._entries[i] = event
+        self._next = (i + 1) % self.capacity
+        self._total += 1
+
+    def __len__(self) -> int:
+        """Events currently held (≤ capacity)."""
+        return min(self._total, self.capacity)
+
+    @property
+    def total_pushed(self) -> int:
+        """Events ever pushed, including those already overwritten."""
+        return self._total
+
+    def _order(self) -> "List[int]":
+        size = len(self)
+        if self._total <= self.capacity:
+            return list(range(size))
+        return [(i + self._next) % self.capacity for i in range(size)]
+
+    def events(self) -> "List[ObsEvent]":
+        """Chronological list of the held events."""
+        out: "List[ObsEvent]" = []
+        for i in self._order():
+            entry = self._entries[i]
+            if entry is not None:
+                out.append(entry)
+        return out
+
+    def dicts(self) -> "List[Dict[str, Any]]":
+        """Chronological events as JSON-friendly dicts."""
+        return [event.as_dict() for event in self.events()]
+
+    def clear(self) -> None:
+        """Drop all events (buffer stays allocated)."""
+        self._entries = [None] * self.capacity
+        self._next = 0
+        self._total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EventRing(capacity={self.capacity}, held={len(self)}, "
+            f"total_pushed={self._total})"
+        )

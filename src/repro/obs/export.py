@@ -176,9 +176,21 @@ def parse_prometheus(text: str) -> "Dict[str, Dict[str, Any]]":
 
 
 def snapshot_json(registry: "MetricsRegistry | NullRegistry",
-                  indent: "int | None" = 2) -> str:
-    """The registry's :meth:`snapshot` serialised as JSON text."""
-    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+                  indent: "int | None" = 2,
+                  rings: "Mapping[str, Any] | None" = None) -> str:
+    """The registry's :meth:`snapshot` serialised as JSON text.
+
+    ``rings`` (the payload of :func:`repro.obs.runtime.rings_snapshot`)
+    is embedded under a ``"rings"`` key when given — the sweep trace and
+    event log ride along with the metric series in ``/metrics.json``
+    and ``python -m repro.obs --rings``. The key is ignored by
+    :func:`registry_from_snapshot`, so round-tripping the metric series
+    through a rebuild still works.
+    """
+    payload: "Dict[str, Any]" = dict(registry.snapshot())
+    if rings is not None:
+        payload["rings"] = dict(rings)
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def registry_from_snapshot(

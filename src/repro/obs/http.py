@@ -33,7 +33,9 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             body = prometheus_text(provider()).encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
         elif path == "/metrics.json":
-            body = snapshot_json(provider()).encode("utf-8")
+            body = snapshot_json(
+                provider(), rings=runtime.rings_snapshot()
+            ).encode("utf-8")
             content_type = "application/json; charset=utf-8"
         else:
             self.send_error(404, "try /metrics or /metrics.json")

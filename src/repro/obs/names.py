@@ -46,6 +46,19 @@ __all__ = [
     "MONITOR_TASKS",
     # bench harness profiling
     "BENCH_STAGE_SECONDS",
+    # accuracy auditing
+    "AUDIT_SAMPLED_ITEMS_TOTAL",
+    "AUDIT_SHADOW_KEYS",
+    "AUDIT_CYCLES_TOTAL",
+    "AUDIT_CYCLE_SECONDS",
+    "AUDIT_OBSERVED_ERROR",
+    "AUDIT_PREDICTED_ERROR",
+    "AUDIT_ERROR_RATIO",
+    "AUDIT_ERROR_WINDOW_LENGTH",
+    "AUDIT_ABS_ERROR",
+    "AUDIT_ALERTS_TOTAL",
+    # structured event log
+    "OBS_EVENTS_TOTAL",
 ]
 
 # ---------------------------------------------------------------------- clock
@@ -107,3 +120,29 @@ MONITOR_TASKS = "repro_monitor_tasks"
 # ---------------------------------------------------------------------- bench
 #: Histogram of experiment-harness stage latencies, labelled by stage.
 BENCH_STAGE_SECONDS = "repro_bench_stage_seconds"
+
+# ---------------------------------------------------------------------- audit
+#: Stream items folded into the shadow-truth tracker (the sampled subset).
+AUDIT_SAMPLED_ITEMS_TOTAL = "repro_audit_sampled_items_total"
+#: Distinct keys currently held by the shadow tracker (gauge).
+AUDIT_SHADOW_KEYS = "repro_audit_shadow_keys"
+#: Audit replay cycles executed.
+AUDIT_CYCLES_TOTAL = "repro_audit_cycles_total"
+#: Wall-clock seconds per audit cycle (log-2 buckets).
+AUDIT_CYCLE_SECONDS = "repro_audit_cycle_seconds"
+#: Online error estimate from the shadow replay, labelled ``{task, stat}``.
+AUDIT_OBSERVED_ERROR = "repro_audit_observed_error"
+#: Analytically predicted error at the live configuration, by task.
+AUDIT_PREDICTED_ERROR = "repro_audit_predicted_error"
+#: Observed / predicted error ratio, by task (1.0 = exactly as modelled).
+AUDIT_ERROR_RATIO = "repro_audit_error_ratio"
+#: Residual error-window length ``T / (2^s - 2)`` per task (gauge).
+AUDIT_ERROR_WINDOW_LENGTH = "repro_audit_error_window_length"
+#: Absolute per-key error of audited size/span queries (log-2 buckets).
+AUDIT_ABS_ERROR = "repro_audit_abs_error"
+#: Drift alerts raised, labelled ``{task, kind}``.
+AUDIT_ALERTS_TOTAL = "repro_audit_alerts_total"
+
+# --------------------------------------------------------------------- events
+#: Structured observability events recorded, labelled ``{severity, kind}``.
+OBS_EVENTS_TOTAL = "repro_obs_events_total"

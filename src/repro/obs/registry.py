@@ -187,6 +187,38 @@ class Histogram(_Metric):
         """Prometheus-style cumulative bucket counts (``+Inf`` last)."""
         return np.cumsum(self.bucket_counts, dtype=np.int64)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucketed distribution.
+
+        Locates the bucket holding the ``q * count``-th observation and
+        interpolates *geometrically* within it — the right interpolation
+        for log-scale buckets, where observations are closer to
+        log-uniform than uniform. The result is monotone in ``q``.
+        Conventions at the edges: an empty histogram returns ``0.0``;
+        the first bucket's unknown lower edge is taken as half its upper
+        bound; quantiles landing in the ``+Inf`` overflow bucket clamp
+        to the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        bounds = self._bounds_list
+        cumulative = 0
+        for i, in_bucket in enumerate(self.bucket_counts):
+            if in_bucket and cumulative + in_bucket >= target:
+                if i >= len(bounds):
+                    return bounds[-1]
+                hi = bounds[i]
+                lo = bounds[i - 1] if i > 0 else (hi / 2.0 if hi > 0 else hi)
+                frac = max(0.0, (target - cumulative) / in_bucket)
+                if 0.0 < lo < hi:
+                    return lo * (hi / lo) ** frac
+                return lo + (hi - lo) * frac
+            cumulative += in_bucket
+        return bounds[-1]
+
 
 class MetricsRegistry:
     """Owns metric series; interns them by ``(name, labels)``.
@@ -334,6 +366,9 @@ class NullHistogram:
     def observe_many(self, values: Any) -> None:
         pass
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
 
 _NULL_COUNTER = NullCounter()
 _NULL_GAUGE = NullGauge()
@@ -366,6 +401,10 @@ class NullRegistry:
 
     def __len__(self) -> int:
         return 0
+
+    def get(self, name: str,
+            labels: "Mapping[str, str] | None" = None) -> None:
+        return None
 
     def snapshot(self) -> "Dict[str, List[dict]]":
         return {"counters": [], "gauges": [], "histograms": []}

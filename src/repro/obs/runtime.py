@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 import numpy as np
 
 from . import names
+from .events import EventRing, ObsEvent
 from .registry import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -48,6 +49,8 @@ __all__ = [
     "observed",
     "registry",
     "sweep_ring",
+    "event_ring",
+    "rings_snapshot",
     "timed",
     "record_sweep",
     "record_sweep_deferral",
@@ -55,12 +58,15 @@ __all__ = [
     "record_query",
     "record_batch",
     "record_lock",
+    "record_event",
+    "record_audit_ingest",
     "sample_clock",
     "publish_sketch",
     "publish_monitor",
 ]
 
 DEFAULT_RING_CAPACITY = 1024
+DEFAULT_EVENT_CAPACITY = 256
 
 #: The master switch. Instrumentation sites read this through the
 #: module (``_obs.ENABLED``) so toggling is visible everywhere at once.
@@ -68,6 +74,7 @@ ENABLED: bool = False
 
 _REGISTRY: "Union[MetricsRegistry, NullRegistry]" = NULL_REGISTRY
 _RING: SweepTraceRing = SweepTraceRing(1)
+_EVENTS: EventRing = EventRing(1)
 
 #: Hot-path recorder cache: key -> tuple of pre-interned metric objects.
 #: Registry interning builds a label dict plus a sorted key per lookup;
@@ -79,17 +86,19 @@ _SERIES: "Dict[Any, Any]" = {}
 
 
 def enable(ring_capacity: int = DEFAULT_RING_CAPACITY,
-           fresh: bool = True) -> MetricsRegistry:
+           fresh: bool = True,
+           event_capacity: int = DEFAULT_EVENT_CAPACITY) -> MetricsRegistry:
     """Turn instrumentation on; returns the live registry.
 
-    ``fresh=True`` (default) starts from an empty registry and trace
-    ring; ``fresh=False`` resumes accumulating into the previous ones
-    (if any survive from an earlier enable).
+    ``fresh=True`` (default) starts from an empty registry, trace ring,
+    and event ring; ``fresh=False`` resumes accumulating into the
+    previous ones (if any survive from an earlier enable).
     """
-    global ENABLED, _REGISTRY, _RING
+    global ENABLED, _REGISTRY, _RING, _EVENTS
     if fresh or isinstance(_REGISTRY, NullRegistry):
         _REGISTRY = MetricsRegistry()
         _RING = SweepTraceRing(ring_capacity)
+        _EVENTS = EventRing(event_capacity)
     _SERIES.clear()
     ENABLED = True
     assert isinstance(_REGISTRY, MetricsRegistry)
@@ -117,6 +126,31 @@ def registry() -> "Union[MetricsRegistry, NullRegistry]":
 def sweep_ring() -> SweepTraceRing:
     """The sweep-trace ring populated while instrumentation is on."""
     return _RING
+
+
+def event_ring() -> EventRing:
+    """The structured-event ring populated while instrumentation is on."""
+    return _EVENTS
+
+
+def rings_snapshot() -> "Dict[str, Any]":
+    """JSON-friendly image of both rings (sweep trace + events).
+
+    Embedded in ``/metrics.json`` responses and the CLI's ``--rings``
+    output; read-only, never part of a registry round trip.
+    """
+    return {
+        "sweep": {
+            "capacity": _RING.capacity,
+            "total_pushed": _RING.total_pushed,
+            "events": _RING.events(),
+        },
+        "events": {
+            "capacity": _EVENTS.capacity,
+            "total_pushed": _EVENTS.total_pushed,
+            "events": _EVENTS.dicts(),
+        },
+    }
 
 
 @contextmanager
@@ -356,6 +390,45 @@ def publish_sketch(sketch: str, memory_bits: int,
         reg.gauge(names.SKETCH_FILL_RATIO,
                   "Estimated fraction of live cells.",
                   labels=labels).set(fill_ratio)
+
+
+def record_event(time: float, severity: str, kind: str, message: str,
+                 fields: "Optional[Mapping[str, Any]]" = None) -> None:
+    """Record one structured event: ring push plus a severity counter.
+
+    Events always reach the counter (into the null registry while
+    disabled, a no-op); the ring push is enabled-only, mirroring the
+    sweep trace.
+    """
+    key = ("event", severity, kind)
+    counter = _SERIES.get(key)
+    if counter is None:
+        counter = registry().counter(
+            names.OBS_EVENTS_TOTAL, "Structured observability events.",
+            labels={"severity": severity, "kind": kind},
+        )
+        _SERIES[key] = counter
+    counter.inc()
+    if ENABLED:
+        _EVENTS.push(ObsEvent(time=time, severity=severity, kind=kind,
+                              message=message, fields=dict(fields or {})))
+
+
+def record_audit_ingest(sampled: int, shadow_keys: int) -> None:
+    """Shadow-sampler intake: sampled item count plus tracker size."""
+    series = _SERIES.get("audit_ingest")
+    if series is None:
+        reg = registry()
+        series = (
+            reg.counter(names.AUDIT_SAMPLED_ITEMS_TOTAL,
+                        "Stream items folded into the shadow tracker."),
+            reg.gauge(names.AUDIT_SHADOW_KEYS,
+                      "Distinct keys held by the shadow tracker."),
+        )
+        _SERIES["audit_ingest"] = series
+    sampled_c, keys_g = series
+    sampled_c.inc(sampled)
+    keys_g.set(shadow_keys)
 
 
 def publish_monitor(memory_bits: int, split: "Mapping[str, float]") -> None:

@@ -152,6 +152,33 @@ class BatchTracker:
         contains = self.window.contains
         return [k for k, st in self._states.items() if not contains(st.last, now)]
 
+    def partition_keys(self, now=None, residual: float = 0.0):
+        """Three-way key split: ``(active, residual, stale)`` at ``now``.
+
+        ``active`` keys have a live batch (``now - last < T``).
+        ``residual`` keys expired within the trailing ``residual``
+        stretch (``T <= now - last < T + residual``) — with ``residual``
+        set to the clock's error-window length ``T/(2^s - 2)``, these
+        are the keys a correct sketch may *legitimately* still report
+        active. ``stale`` keys expired before that: every positive
+        answer on them is a genuine false positive. The accuracy
+        auditor measures FP rates on the stale set only.
+        """
+        now = self._resolve_now(now)
+        length = self.window.length
+        active: list = []
+        residual_keys: list = []
+        stale: list = []
+        for key, state in self._states.items():
+            age = now - state.last
+            if age < length:
+                active.append(key)
+            elif age < length + residual:
+                residual_keys.append(key)
+            else:
+                stale.append(key)
+        return active, residual_keys, stale
+
     def state(self, key) -> "BatchState | None":
         """The raw per-key batch state (None if never seen)."""
         return self._states.get(key)

@@ -19,7 +19,7 @@ class TestAllExperimentsRun:
     def test_registry_covers_every_figure_and_table(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig13x", "table3", "batch", "obs",
+            "fig12", "fig13", "fig13x", "table3", "batch", "obs", "audit",
             "ablation1", "ablation2", "ablation3", "ablation4", "ablation5",
         }
 

@@ -20,6 +20,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
     SECONDS_BOUNDS,
+    SIZE_BOUNDS,
 )
 from repro.obs.ring import SweepTraceRing
 
@@ -481,3 +482,210 @@ class TestCli:
                      "--memory", "16KB", "--format", "prometheus"]) == 0
         families = obs.parse_prometheus(capsys.readouterr().out)
         assert names.ENGINE_BATCH_ITEMS_TOTAL in families
+
+
+class TestHistogramQuantile:
+    def _hist(self, bounds):
+        return MetricsRegistry().histogram(
+            names.AUDIT_ABS_ERROR, bounds=np.asarray(bounds, dtype=float))
+
+    def test_empty_histogram_is_zero(self):
+        assert self._hist([1.0, 2.0]).quantile(0.5) == 0.0
+
+    def test_invalid_q_rejected(self):
+        hist = self._hist([1.0, 2.0])
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ConfigurationError, match="quantile"):
+                hist.quantile(bad)
+
+    def test_bucket_boundaries_are_exact(self):
+        hist = self._hist([1.0, 2.0, 4.0, 8.0])
+        hist.observe_many(np.array([1.0] * 4 + [3.0] * 4))
+        # target q=0.5 lands exactly on the first bucket's upper edge.
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_monotone_in_q(self):
+        hist = self._hist(SIZE_BOUNDS)
+        rng = np.random.default_rng(7)
+        hist.observe_many(rng.lognormal(mean=4.0, sigma=2.0, size=2000))
+        grid = np.linspace(0.0, 1.0, 101)
+        values = [hist.quantile(q) for q in grid]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_first_bucket_interpolates_below_its_bound(self):
+        hist = self._hist([8.0, 16.0])
+        hist.observe(5.0)
+        # Lower edge of the first bucket is taken as bound/2.
+        assert 4.0 <= hist.quantile(0.5) <= 8.0
+        assert hist.quantile(1.0) == pytest.approx(8.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        hist = self._hist([1.0, 2.0])
+        hist.observe(100.0)
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 2.0
+
+    def test_geometric_interpolation_in_log_buckets(self):
+        hist = self._hist([4.0, 16.0])
+        hist.observe_many(np.full(10, 8.0))  # all in the (4, 16] bucket
+        # Geometric midpoint of (4, 16] is 8 — the right centre for
+        # log-scale buckets (arithmetic would say 10).
+        assert hist.quantile(0.5) == pytest.approx(8.0)
+
+    def test_null_histogram_quantile(self):
+        assert NULL_REGISTRY.histogram(names.AUDIT_ABS_ERROR).quantile(0.5) == 0.0
+
+    def test_null_registry_get_returns_none(self):
+        assert NULL_REGISTRY.get(names.AUDIT_ABS_ERROR) is None
+
+
+class TestEventRing:
+    def test_severity_validated(self):
+        from repro.obs.events import ObsEvent
+
+        with pytest.raises(ConfigurationError, match="severity"):
+            ObsEvent(time=1.0, severity="panic", kind="x", message="m")
+
+    def test_capacity_must_be_positive(self):
+        from repro.obs.events import EventRing
+
+        with pytest.raises(ConfigurationError):
+            EventRing(0)
+
+    def test_wraparound_keeps_most_recent(self):
+        from repro.obs.events import EventRing, ObsEvent
+
+        ring = EventRing(capacity=3)
+        for i in range(5):
+            ring.push(ObsEvent(time=float(i), severity="info",
+                               kind="k", message=f"m{i}"))
+        assert ring.total_pushed == 5
+        assert len(ring) == 3
+        assert [e.time for e in ring.events()] == [2.0, 3.0, 4.0]
+        dicts = ring.dicts()
+        assert dicts[-1]["message"] == "m4"
+
+    def test_record_event_counts_and_pushes(self):
+        reg = obs.enable()
+        runtime.record_event(time=1.0, severity="warning", kind="audit-test",
+                             message="boom", fields={"task": "span"})
+        counter = reg.get(names.OBS_EVENTS_TOTAL,
+                          labels={"severity": "warning", "kind": "audit-test"})
+        assert counter is not None and counter.value == 1.0
+        events = obs.event_ring().events()
+        assert len(events) == 1 and events[0].fields["task"] == "span"
+
+    def test_record_event_disabled_skips_ring(self):
+        obs.disable()
+        before = obs.event_ring().total_pushed
+        runtime.record_event(time=1.0, severity="info", kind="k", message="m")
+        assert obs.event_ring().total_pushed == before
+
+
+class TestRingsExposition:
+    def _enable_with_traffic(self):
+        reg = obs.enable()
+        bf = ClockBloomFilter(n=512, k=3, s=2, window=count_window(128),
+                              seed=1)
+        bf.insert_many(np.arange(400, dtype=np.uint64))
+        runtime.record_event(time=1.0, severity="info", kind="smoke",
+                             message="hello")
+        return reg
+
+    def test_rings_snapshot_shape(self):
+        self._enable_with_traffic()
+        snap = obs.rings_snapshot()
+        assert snap["sweep"]["total_pushed"] >= 1
+        assert snap["events"]["total_pushed"] == 1
+        assert snap["events"]["events"][0]["kind"] == "smoke"
+
+    def test_snapshot_json_embeds_rings_and_round_trips(self):
+        reg = self._enable_with_traffic()
+        payload = json.loads(obs.snapshot_json(reg, rings=obs.rings_snapshot()))
+        assert payload["rings"]["sweep"]["total_pushed"] >= 1
+        assert payload["rings"]["events"]["events"][0]["message"] == "hello"
+        # The rings key is exposition-only: registry round trips ignore it.
+        rebuilt = obs.registry_from_snapshot(payload)
+        assert rebuilt.get(names.SKETCH_INSERTS_TOTAL,
+                           labels={"sketch": "ClockBloomFilter"}) is not None
+
+    def test_http_json_includes_rings(self):
+        self._enable_with_traffic()
+        with obs.MetricsServer(port=0) as server:
+            url = f"http://{server.host}:{server.port}/metrics.json"
+            payload = json.loads(
+                urllib.request.urlopen(url, timeout=5).read())
+        assert payload["rings"]["sweep"]["capacity"] >= 1
+        assert payload["rings"]["events"]["events"][0]["kind"] == "smoke"
+
+    def test_cli_rings_flag_gates_embedding(self, capsys):
+        from repro.obs.__main__ import main
+
+        base_args = ["--items", "2000", "--window", "256",
+                     "--memory", "16KB", "--format", "json"]
+        assert main(base_args) == 0
+        assert "rings" not in json.loads(capsys.readouterr().out)
+        assert main(base_args + ["--rings"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rings"]["sweep"]["total_pushed"] >= 1
+
+
+class TestServerRobustness:
+    def test_concurrent_scrapes(self):
+        import threading
+
+        reg = obs.enable()
+        reg.counter(names.SKETCH_INSERTS_TOTAL).inc(7)
+        failures = []
+
+        with obs.MetricsServer(port=0) as server:
+            json_url = f"http://{server.host}:{server.port}/metrics.json"
+
+            def scrape():
+                try:
+                    for _ in range(5):
+                        text = urllib.request.urlopen(
+                            server.url, timeout=5).read().decode("utf-8")
+                        families = obs.parse_prometheus(text)
+                        assert (families[names.SKETCH_INSERTS_TOTAL]
+                                ["samples"][0][2] == 7.0)
+                        payload = json.loads(urllib.request.urlopen(
+                            json_url, timeout=5).read())
+                        assert payload["counters"][0]["value"] == 7.0
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=scrape) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert not failures
+
+    def test_port_zero_binds_distinct_ports(self):
+        obs.enable()
+        with obs.MetricsServer(port=0) as a, obs.MetricsServer(port=0) as b:
+            assert a.port != 0 and b.port != 0
+            assert a.port != b.port
+            for server in (a, b):
+                assert urllib.request.urlopen(
+                    server.url, timeout=5).status == 200
+
+    def test_clean_shutdown_and_restart(self):
+        obs.enable()
+        server = obs.MetricsServer(port=0).start()
+        port = server.port
+        assert urllib.request.urlopen(server.url, timeout=5).status == 200
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=2)
+        server.stop()  # double stop is a no-op
+        # The same object can serve again on a fresh port.
+        server.start()
+        try:
+            assert urllib.request.urlopen(
+                server.url, timeout=5).status == 200
+        finally:
+            server.stop()

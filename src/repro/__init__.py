@@ -31,6 +31,7 @@ from .core import (
 from .engine import BatchEngine
 from .monitor import BatchReport, ItemBatchMonitor
 from .serialize import dump_sketch, dumps_sketch, load_sketch, loads_sketch
+from .shard import ShardedSketch
 from .streams import BatchTracker, Batch, Stream, segment_batches
 from .timebase import WindowKind, WindowSpec, count_window, time_window
 from .units import format_bits, parse_memory
@@ -61,6 +62,7 @@ __all__ = [
     "dumps_sketch",
     "load_sketch",
     "loads_sketch",
+    "ShardedSketch",
     "BatchTracker",
     "Batch",
     "Stream",

@@ -1,0 +1,97 @@
+"""Shard-scaling: ingestion throughput vs worker count.
+
+Not a paper figure — this is the library's own scaling experiment for
+the sharded ingestion engine (:mod:`repro.shard`, the §7 scale-out
+story). One synthetic trace is driven through a
+:class:`~repro.shard.ShardedSketch` at increasing shard counts; each
+run measures end-to-end items/sec (routing + ingestion + the final
+merge barrier) and the merged-snapshot latency.
+
+Two routers are measured: ``serial`` isolates the pure routing
+overhead (scatter + per-shard sub-batches on one core — expect ~1x,
+slightly below), and ``process`` adds real parallelism (one worker
+process per shard). Process-router speedups require actual cores:
+on a single-CPU host P>1 only adds IPC cost, which the results then
+honestly show — interpret ``speedup`` alongside ``cpus``.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from ...core import ClockBloomFilter
+from ...shard import ShardedSketch
+from ...timebase import count_window
+from ..harness import ExperimentResult, cached_trace
+
+#: Table 3's activeness configuration, reused for comparability.
+MEMORY = "8KB"
+WINDOW = 4096
+S_BITS = 2
+
+DEFAULT_ITEMS = 1_000_000
+DEFAULT_SHARDS = (1, 2, 4, 8)
+
+#: Items per insert_many call — large enough to amortise dispatch,
+#: small enough that per-shard queues see many commands.
+CHUNK = 50_000
+
+
+def _prototype(seed: int) -> ClockBloomFilter:
+    return ClockBloomFilter.from_memory(MEMORY, count_window(WINDOW),
+                                        s=S_BITS, seed=seed)
+
+
+def _drive(sharded: ShardedSketch, keys) -> "tuple[float, float]":
+    """Feed the whole trace in chunks; returns (ingest_s, merge_s)."""
+    started = perf_counter()
+    for lo in range(0, len(keys), CHUNK):
+        sharded.insert_many(keys[lo:lo + CHUNK])
+    sharded.router.barrier(sharded.now)
+    ingest = perf_counter() - started
+    started = perf_counter()
+    sharded.merged()
+    merge = perf_counter() - started
+    return ingest, merge
+
+
+def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
+        shard_counts: "tuple[int, ...]" = DEFAULT_SHARDS,
+        routers: "tuple[str, ...]" = ("serial", "process"),
+        ) -> ExperimentResult:
+    """Measure sharded ingestion throughput at each shard count."""
+    if quick:
+        n_items = 20_000
+        shard_counts = (1, 2)
+    cpus = os.cpu_count() or 1
+    result = ExperimentResult(
+        title="Shard scaling: items/sec vs shard count (Clock-BF, 8KB/shard)",
+        columns=["router", "shards", "n_items", "ips", "speedup",
+                 "merge_ms", "cpus"],
+        notes=[
+            "end-to-end: shard routing + ingestion + final merge barrier",
+            "speedup is relative to the same router at P=1",
+            f"host has {cpus} cpu(s); process-router speedup needs "
+            "one core per shard",
+        ],
+    )
+    stream = cached_trace("caida", n_items=n_items, window_hint=WINDOW,
+                          seed=seed)
+    for router in routers:
+        base_ips = None
+        for shards in shard_counts:
+            sharded = ShardedSketch(lambda: _prototype(seed), shards=shards,
+                                    router=router)
+            try:
+                ingest_s, merge_s = _drive(sharded, stream.keys)
+            finally:
+                sharded.close()
+            ips = len(stream.keys) / ingest_s
+            if base_ips is None:
+                base_ips = ips
+            result.add(router=router, shards=shards,
+                       n_items=len(stream.keys), ips=ips,
+                       speedup=ips / base_ips, merge_ms=merge_s * 1e3,
+                       cpus=cpus)
+    return result

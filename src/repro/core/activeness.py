@@ -143,6 +143,33 @@ class ClockBloomFilter(ClockSketchBase):
         """Batch query alias: activeness per item (see :meth:`contains_many`)."""
         return self.contains_many(items, t)
 
+    def snapshot(self) -> "ClockBloomFilter":
+        """Deep copy of the current state (cells, cleaner, bookkeeping).
+
+        The copy is detached: mutating either sketch never affects the
+        other. Shard routers snapshot one replica and :meth:`merge` the
+        rest into it to build a global view.
+        """
+        clone = ClockBloomFilter(n=self.n, k=self.k, s=self.s,
+                                 window=self.window, seed=self.seed,
+                                 sweep_mode=self.clock.sweep_mode)
+        self._copy_state_into(clone)
+        return clone
+
+    def merge(self, other: "ClockBloomFilter") -> "ClockBloomFilter":
+        """Fold another filter in: the Bloom union (element-wise clock max).
+
+        With clock cells, the classic bit-OR becomes an element-wise
+        max — a cell is live in the union iff it is live on either
+        side, and its remaining lifetime is its newest writer's. Both
+        sketches must share a configuration and a cleaning-pointer
+        position (synchronise to a common stream time first). Returns
+        ``self``.
+        """
+        self._merge_check(other, ("n", "k", "s", "window", "seed"))
+        self._merge_commit(other)
+        return self
+
     def memory_bits(self) -> int:
         """Accounted footprint in bits (clock cells only, per §4.1)."""
         return self.clock.memory_bits()

@@ -28,6 +28,15 @@ from ..timebase import WindowSpec
 class ClockSketchBase:
     """Temporal bookkeeping shared by all Clock-sketch variants."""
 
+    #: Sharding escape hatch: a count-based sketch normally derives item
+    #: times from its own insert counter, but a shard replica sees only
+    #: a subsequence of the stream and must be told each item's *global*
+    #: arrival position. The shard router flips this flag on its
+    #: replicas so ``_insert_times_many`` accepts an explicit ``times``
+    #: array even for count-based windows (validated, non-decreasing);
+    #: plain sketches keep rejecting one.
+    _accepts_global_times = False
+
     def __init__(self, window: WindowSpec):
         self.window = window
         self._items_inserted = 0
@@ -91,11 +100,33 @@ class ClockSketchBase:
         in the scalar path.
         """
         if self.window.is_count_based:
-            if times is not None:
+            if times is not None and not self._accepts_global_times:
                 raise TimeError(
                     "count-based sketches take no insert timestamp; "
                     "time is the item count"
                 )
+            if times is not None:
+                # A shard replica receiving global arrival positions:
+                # validate exactly like the time-based path so the step
+                # schedule stays the plain sketch's integer arithmetic.
+                resolved = np.asarray(times, dtype=np.float64)
+                if resolved.ndim != 1 or resolved.shape[0] != count:
+                    raise ConfigurationError(
+                        f"times must align with the {count} items, "
+                        f"got shape {resolved.shape}"
+                    )
+                if count:
+                    if resolved[0] <= self._now:
+                        raise TimeError(
+                            f"global arrival positions must advance: "
+                            f"{resolved[0]} <= {self._now}"
+                        )
+                    if np.any(resolved[1:] <= resolved[:-1]):
+                        raise TimeError(
+                            "global arrival positions must be strictly "
+                            "increasing within a batch"
+                        )
+                return resolved
             start = self._items_inserted
             return np.arange(start + 1, start + count + 1, dtype=np.float64)
         if times is None:
@@ -117,6 +148,66 @@ class ClockSketchBase:
                     "insert times must be non-decreasing within a batch"
                 )
         return resolved
+
+    # ------------------------------------------------------------------
+    # Merge / snapshot plumbing (shared by all four sketches)
+    # ------------------------------------------------------------------
+
+    def _merge_check(self, other, attrs) -> None:
+        """Validate that ``other`` is structurally merge-compatible.
+
+        Merging requires an identical configuration (same cells,
+        hashes, seed, window) and cleaning pointers at the same
+        position — i.e. both sketches synchronised to a common stream
+        time, the Flink-style barrier of paper §7.
+        """
+        if type(other) is not type(self):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with "
+                f"{type(other).__name__}"
+            )
+        for attr in attrs:
+            va, vb = getattr(self, attr), getattr(other, attr)
+            if va != vb:
+                raise ConfigurationError(
+                    f"cannot merge: {attr} differs ({va} != {vb})"
+                )
+        if self.clock.steps_done != other.clock.steps_done:
+            raise ConfigurationError(
+                "cannot merge: cleaning pointers disagree "
+                f"({self.clock.steps_done} != {other.clock.steps_done} "
+                "steps); synchronise both sketches to the same stream "
+                "time first"
+            )
+
+    def _merge_commit(self, other) -> None:
+        """Union the clock state and temporal bookkeeping of ``other``.
+
+        Clock cells merge by element-wise max through the validating
+        :meth:`~repro.core.clockarray.ClockArray.merge_max`; the merged
+        sketch counts both sides' items and sits at the later of the
+        two stream times.
+        """
+        self.clock.merge_max(other.clock.values)
+        if other.clock.now > self.clock.now:
+            self.clock.sync_state(other.clock.now, self.clock.steps_done)
+        self._now = max(self._now, other._now)
+        self._items_inserted += other._items_inserted
+
+    def _copy_state_into(self, clone) -> None:
+        """Copy clock cells and temporal bookkeeping into a fresh clone.
+
+        Used by each sketch's ``snapshot()``: ``clone`` must be a
+        pristine instance with the same configuration. Cell images go
+        through the validating
+        :meth:`~repro.core.clockarray.ClockArray.load_values` /
+        :meth:`~repro.core.clockarray.ClockArray.sync_state` entry
+        points, never raw buffer writes.
+        """
+        clone.clock.load_values(self.clock.values)
+        clone.clock.sync_state(self.clock.now, self.clock.steps_done)
+        clone._now = self._now
+        clone._items_inserted = self._items_inserted
 
     def _query_time(self, t) -> float:
         """Resolve the time of a query (defaults to the latest time).

@@ -156,6 +156,29 @@ class ClockBitmap(ClockSketchBase):
         self.clock.advance(now)
         return linear_counting_estimate(self.clock.count_zero(), self.n, strict)
 
+    def snapshot(self) -> "ClockBitmap":
+        """Deep copy of the current state (cells, cleaner, bookkeeping)."""
+        clone = ClockBitmap(n=self.n, s=self.s, window=self.window,
+                            seed=self.seed,
+                            sweep_mode=self.clock.sweep_mode)
+        self._copy_state_into(clone)
+        return clone
+
+    def merge(self, other: "ClockBitmap") -> "ClockBitmap":
+        """Fold another bitmap in: the linear-counting union.
+
+        Clock cells merge by element-wise max (a cell is zero in the
+        union iff it is zero on both sides), so a later
+        :meth:`estimate` applies the §4.2 estimator ``-n ln(u/n)`` to
+        the *union's* zero count — the standard post-union
+        linear-counting estimator, which deduplicates batches seen by
+        several workers instead of summing per-worker estimates.
+        Returns ``self``.
+        """
+        self._merge_check(other, ("n", "s", "window", "seed"))
+        self._merge_commit(other)
+        return self
+
     def memory_bits(self) -> int:
         """Accounted footprint in bits."""
         return self.clock.memory_bits()

@@ -365,6 +365,51 @@ class ClockArray:
             )
         self.values[:] = image.astype(self.values.dtype)
 
+    def merge_max(self, image) -> None:
+        """Fold another cell image in by element-wise maximum.
+
+        The merge twin of :meth:`load_values`, and the only sanctioned
+        way to union clock state (shard merges, worker aggregation):
+        the image is validated against the array's shape and value
+        range first, so a corrupt or mis-shaped peer can never poison
+        the cells. Taking the max preserves the window guarantee — a
+        cell is never made newer than its newest writer, and never
+        expired while any side still holds it live.
+        """
+        image = np.asarray(image)  # sketchlint: dtype-ok
+        if image.shape != (self.n,):
+            raise ConfigurationError(
+                f"cell image shape {image.shape} does not match "
+                f"({self.n},)"
+            )
+        if image.size and (int(image.max()) > self.max_value
+                           or int(image.min()) < 0):
+            raise ConfigurationError(
+                f"cell image holds values outside [0, {self.max_value}]"
+            )
+        np.maximum(self.values, image.astype(self.values.dtype),
+                   out=self.values)
+
+    def bind_buffer(self, view: np.ndarray) -> None:
+        """Adopt an external array as the cell buffer (shared memory).
+
+        ``view`` must be a 1-D array of exactly ``n`` cells in this
+        array's dtype — typically a numpy view over a
+        ``multiprocessing.shared_memory`` block, so a shard worker can
+        mutate cells the parent process reads. The current cell image
+        is copied into the view before it is adopted, so binding is
+        state-preserving.
+        """
+        if not isinstance(view, np.ndarray):
+            raise ConfigurationError("bind_buffer requires a numpy array view")
+        if view.shape != (self.n,) or view.dtype != self.values.dtype:
+            raise ConfigurationError(
+                f"buffer view {view.dtype}{view.shape} does not match "
+                f"{self.values.dtype}({self.n},)"
+            )
+        view[:] = self.values
+        self.values = view
+
     def are_nonzero(self, indexes) -> bool:
         """True if every given cell currently holds a non-zero clock."""
         return bool(np.all(self.values[indexes] > 0))

@@ -191,6 +191,38 @@ class ClockCountMin(ClockSketchBase):
         self.clock.advance(now)
         return np.min(self.counters[self._flat_matrix(items)], axis=1).astype(np.int64)
 
+    def snapshot(self) -> "ClockCountMin":
+        """Deep copy of the current state (cells, counters, bookkeeping)."""
+        clone = ClockCountMin(width=self.width, depth=self.depth, s=self.s,
+                              window=self.window,
+                              counter_bits=self.counter_bits, seed=self.seed,
+                              sweep_mode=self.clock.sweep_mode,
+                              conservative=self.conservative)
+        self._copy_state_into(clone)
+        clone.counters[:] = self.counters
+        return clone
+
+    def merge(self, other: "ClockCountMin") -> "ClockCountMin":
+        """Fold another CM sketch in: counters sum, clocks max.
+
+        Each side counted disjoint occurrences, so per-row counters add
+        (saturating at the counter ceiling instead of wrapping); clock
+        cells merge by element-wise max, and any counter whose merged
+        clock is zero (both sides expired) is erased. The merged
+        estimate stays an overestimate of the truth; see
+        ``docs/sharding.md`` for the exact-vs-conservative bounds.
+        Returns ``self``.
+        """
+        self._merge_check(
+            other, ("width", "depth", "s", "counter_bits", "window", "seed")
+        )
+        summed = self.counters.astype(np.int64) + other.counters.astype(np.int64)
+        np.minimum(summed, self.counter_max, out=summed)
+        self.counters[:] = summed.astype(self.counters.dtype)
+        self._merge_commit(other)
+        self.counters[self.clock.values == 0] = 0
+        return self
+
     def memory_bits(self) -> int:
         """Accounted footprint: ``d * w`` cells of ``s + b`` bits."""
         return self.width * self.depth * (self.s + self.counter_bits)

@@ -184,6 +184,39 @@ class ClockTimeSpanSketch(ClockSketchBase):
         span[~active] = np.nan
         return TimeSpanBatchResult(active=active, span=span, begin=begin)
 
+    def snapshot(self) -> "ClockTimeSpanSketch":
+        """Deep copy of the current state (cells, stamps, bookkeeping)."""
+        clone = ClockTimeSpanSketch(n=self.n, k=self.k, s=self.s,
+                                    window=self.window, seed=self.seed,
+                                    sweep_mode=self.clock.sweep_mode)
+        self._copy_state_into(clone)
+        clone.timestamps[:] = self.timestamps
+        return clone
+
+    def merge(self, other: "ClockTimeSpanSketch") -> "ClockTimeSpanSketch":
+        """Fold another span sketch in: first-writer-wins timestamps.
+
+        Clock cells merge by element-wise max; a cell live on both
+        sides keeps the *older* (minimum) of the two timestamps, and a
+        cell live on one side keeps that side's stamp. First-writer-
+        wins is the only direction that preserves the sketch's span
+        contract: a cell's stamp may only ever be **older** than the
+        start of any batch currently using it (exactly as collisions
+        already behave within one sketch), so the per-key maximum over
+        ``k`` merged stamps still never starts after the true batch
+        begin — spans stay overestimates. Taking the newer stamp
+        instead could report a span *shorter* than the truth whenever
+        two shards' batches collide in a cell. Returns ``self``.
+        """
+        self._merge_check(other, ("n", "k", "s", "window", "seed"))
+        mine, theirs = self.timestamps, other.timestamps
+        both = (mine > 0.0) & (theirs > 0.0)
+        only_theirs = (mine == 0.0) & (theirs > 0.0)
+        mine[both] = np.minimum(mine[both], theirs[both])
+        mine[only_theirs] = theirs[only_theirs]
+        self._merge_commit(other)
+        return self
+
     def memory_bits(self) -> int:
         """Accounted footprint: ``n`` cells of ``s + 64`` bits."""
         return self.n * (self.s + TIMESTAMP_BITS)

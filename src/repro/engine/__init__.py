@@ -10,6 +10,7 @@ and :mod:`repro.engine.fused` for the closed-form math.
 
 from .batch import DEFAULT_MIN_FUSED, BatchEngine
 from .fused import fuse_countmin, fuse_timespan, fuse_touch
+from .scatter import scatter_by_shard, take_subset
 
 __all__ = [
     "BatchEngine",
@@ -17,4 +18,6 @@ __all__ = [
     "fuse_touch",
     "fuse_timespan",
     "fuse_countmin",
+    "scatter_by_shard",
+    "take_subset",
 ]

@@ -45,3 +45,30 @@ class EstimatorSaturatedError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset name was unknown or generator parameters were invalid."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """Base class for shard-router failures (see :mod:`repro.shard`)."""
+
+
+class ShardBackpressureError(ShardError):
+    """A shard worker's command queue stayed full past the send timeout.
+
+    The stream is outrunning a worker; the batch that could not be
+    enqueued has not been applied anywhere.
+    """
+
+
+class ShardWorkerError(ShardError):
+    """A shard worker failed or died mid-stream.
+
+    Carries the partial-result picture: ``failed`` maps shard ids to
+    the failure reason, ``pending`` maps shard ids to the number of
+    commands that were dispatched but never acknowledged. Shards absent
+    from both mappings completed all their work.
+    """
+
+    def __init__(self, message: str, failed=None, pending=None):
+        super().__init__(message)
+        self.failed = dict(failed or {})
+        self.pending = dict(pending or {})

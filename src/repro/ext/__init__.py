@@ -13,7 +13,12 @@
 
 from .similar import KeyedMapper, SimilarItemSketch, TokenPrefixMapper
 from .adaptive import AdaptiveBatchTracker, GapThresholdLearner
-from .merge import merge_bloom_filters, merge_bitmaps, merge_count_mins
+from .merge import (
+    merge_bloom_filters,
+    merge_bitmaps,
+    merge_count_mins,
+    merge_timespan_sketches,
+)
 from .pipeline import DistributedMeasurement
 
 __all__ = [
@@ -26,4 +31,5 @@ __all__ = [
     "merge_bloom_filters",
     "merge_bitmaps",
     "merge_count_mins",
+    "merge_timespan_sketches",
 ]

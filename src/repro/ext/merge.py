@@ -8,39 +8,51 @@ state per item. The merges are conservative unions:
   worker stays active in the union, and no clock is ever newer than its
   newest writer, so the window guarantee carries over;
 - CM+clock counters merge by **sum** (each worker counted disjoint
-  occurrences) with their clocks merged by max.
+  occurrences) with their clocks merged by max;
+- BF-ts+clock timestamps merge **first-writer-wins** (the older stamp
+  survives on cells live on both sides), keeping spans overestimates.
 
 Merging requires structurally identical sketches (same cells, hashes,
 seed, window) whose cleaning pointers are at the same position — i.e.
 workers synchronise at a common stream time, exactly the Flink-style
 barrier the paper envisions.
+
+These functions are thin wrappers over the sketches' own ``merge()``
+methods, which route every cell write through the validating
+:meth:`~repro.core.clockarray.ClockArray.merge_max` /
+:meth:`~repro.core.clockarray.ClockArray.load_values` entry points —
+the same ones the runtime sanitizer checks. ``repro.shard`` builds its
+global query view on the same methods.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.activeness import ClockBloomFilter
 from ..core.cardinality import ClockBitmap
 from ..core.size import ClockCountMin
-from ..errors import ConfigurationError
+from ..core.timespan import ClockTimeSpanSketch
 
-__all__ = ["merge_bloom_filters", "merge_bitmaps", "merge_count_mins"]
+__all__ = ["merge_bloom_filters", "merge_bitmaps", "merge_count_mins",
+           "merge_timespan_sketches"]
 
 
-def _check_mergeable(a, b, attrs) -> None:
-    for attr in attrs:
-        va, vb = getattr(a, attr), getattr(b, attr)
-        if va != vb:
-            raise ConfigurationError(
-                f"cannot merge: {attr} differs ({va} != {vb})"
-            )
-    if a.clock.steps_done != b.clock.steps_done:
-        raise ConfigurationError(
-            "cannot merge: cleaning pointers disagree "
-            f"({a.clock.steps_done} != {b.clock.steps_done} steps); "
-            "synchronise both sketches to the same stream time first"
-        )
+def _resolve_target(a, b, into):
+    """Pick the merge target, rebasing ``into`` onto ``a`` when given.
+
+    With ``into`` absent (or ``a`` itself) the merge mutates ``a``.
+    Otherwise ``into`` adopts ``a``'s exact state first — cell image via
+    the validating ``load_values``, cleaner position as deserialisation
+    does — so the fold of ``b`` lands in a third sketch and ``a`` stays
+    untouched.
+    """
+    if into is None or into is a:
+        return a
+    into.clock.load_values(a.clock.values)
+    into.clock._steps_done = a.clock.steps_done
+    into.clock._now = a.clock.now
+    into._now = a._now
+    into._items_inserted = a._items_inserted
+    return into
 
 
 def merge_bloom_filters(a: ClockBloomFilter, b: ClockBloomFilter,
@@ -61,23 +73,17 @@ def merge_bloom_filters(a: ClockBloomFilter, b: ClockBloomFilter,
     >>> merged.contains("left"), merged.contains("right")
     (True, True)
     """
-    _check_mergeable(a, b, ("n", "k", "s", "window", "seed"))
-    result = into if into is not None else a
-    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
-    result._now = max(a.now, b.now)
-    result._items_inserted = a.items_inserted + b.items_inserted
-    return result
+    return _resolve_target(a, b, into).merge(b)
 
 
 def merge_bitmaps(a: ClockBitmap, b: ClockBitmap,
                   into: "ClockBitmap | None" = None) -> ClockBitmap:
-    """Union of two BM+clock sketches (element-wise clock max)."""
-    _check_mergeable(a, b, ("n", "s", "window", "seed"))
-    result = into if into is not None else a
-    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
-    result._now = max(a.now, b.now)
-    result._items_inserted = a.items_inserted + b.items_inserted
-    return result
+    """Union of two BM+clock sketches (element-wise clock max).
+
+    A later ``estimate()`` applies the §4.2 linear-counting estimator
+    to the union's zero count, deduplicating batches both sides saw.
+    """
+    return _resolve_target(a, b, into).merge(b)
 
 
 def merge_count_mins(a: ClockCountMin, b: ClockCountMin,
@@ -86,16 +92,23 @@ def merge_count_mins(a: ClockCountMin, b: ClockCountMin,
 
     Counter sums saturate at the counter maximum rather than wrapping.
     """
-    _check_mergeable(
-        a, b, ("width", "depth", "s", "counter_bits", "window", "seed")
-    )
-    result = into if into is not None else a
-    summed = a.counters.astype(np.int64) + b.counters.astype(np.int64)
-    result.counters = np.minimum(summed, a.counter_max).astype(a.counters.dtype)
-    np.maximum(a.clock.values, b.clock.values, out=result.clock.values)
-    # A counter is live only while its clock is; zero out any counter
-    # whose merged clock is zero (both sides expired).
-    result.counters[result.clock.values == 0] = 0
-    result._now = max(a.now, b.now)
-    result._items_inserted = a.items_inserted + b.items_inserted
-    return result
+    result = _resolve_target(a, b, into)
+    if result is not a:
+        result.counters[:] = a.counters
+    return result.merge(b)
+
+
+def merge_timespan_sketches(
+    a: ClockTimeSpanSketch, b: ClockTimeSpanSketch,
+    into: "ClockTimeSpanSketch | None" = None,
+) -> ClockTimeSpanSketch:
+    """Merge two BF-ts+clock sketches: clocks max, stamps first-writer-wins.
+
+    A cell live on both sides keeps the older timestamp, so per-key
+    spans on the merged sketch remain overestimates of the truth (see
+    :meth:`~repro.core.timespan.ClockTimeSpanSketch.merge`).
+    """
+    result = _resolve_target(a, b, into)
+    if result is not a:
+        result.timestamps[:] = a.timestamps
+    return result.merge(b)

@@ -26,6 +26,7 @@ from .indexing import (
     derive_index_single,
 )
 from .fingerprint import Fingerprinter
+from .sharding import ShardSelector, shard_seed_for
 
 __all__ = [
     "hashlittle",
@@ -42,4 +43,6 @@ __all__ = [
     "derive_index_matrix",
     "derive_index_single",
     "Fingerprinter",
+    "ShardSelector",
+    "shard_seed_for",
 ]

@@ -130,7 +130,60 @@ class ItemBatchMonitor:
                                       self.size_sketch, self.span_sketch)
                           if s is not None]
         self.seed = seed
+        self.shards = 1
         self._auditor = None
+
+    @classmethod
+    def sharded(cls, window: WindowSpec, memory="64KB", tasks=None,
+                split=None, seed: int = 0, *, shards: int = 2,
+                router: str = "serial", mp_context=None,
+                queue_capacity=None, timeout=None, time_source=None):
+        """A monitor whose every task is a key-partitioned sharded sketch.
+
+        Builds the ordinary per-task structures from ``memory`` (the
+        *per-shard* budget — accuracy tracks a single shard's size, see
+        :meth:`~repro.shard.ShardedSketch.shard_memory_bits`), then
+        wraps each in a :class:`~repro.shard.ShardedSketch` with
+        ``shards`` partitions. ``router="process"`` gives every shard
+        of every task its own worker process; call :meth:`close` (or
+        use the monitor as a context manager) to release them.
+        """
+        from .shard import ShardedSketch
+        from .shard.workers import DEFAULT_QUEUE_CAPACITY, DEFAULT_TIMEOUT
+
+        monitor = cls(window, memory=memory, tasks=tasks, split=split,
+                      seed=seed)
+        options = {
+            "router": router,
+            "mp_context": mp_context,
+            "queue_capacity": DEFAULT_QUEUE_CAPACITY
+            if queue_capacity is None else queue_capacity,
+            "timeout": DEFAULT_TIMEOUT if timeout is None else timeout,
+            "time_source": time_source,
+        }
+        for task in monitor.tasks:
+            attribute = cls._TASK_ATTRS[task]
+            prototype = getattr(monitor, attribute)
+            setattr(monitor, attribute,
+                    ShardedSketch(prototype, shards=shards, **options))
+        monitor._sketches = [
+            getattr(monitor, cls._TASK_ATTRS[task]) for task in monitor.tasks
+        ]
+        monitor.shards = int(shards)
+        return monitor
+
+    def close(self) -> None:
+        """Release per-task resources (sharded worker pools). Idempotent."""
+        for sketch in self._sketches:
+            close = getattr(sketch, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ItemBatchMonitor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def audited(self, sample_rate: float = 0.01, every_items=None,
                 seed=None, predictor=None, detector=None):
@@ -144,7 +197,16 @@ class ItemBatchMonitor:
         drift alerts. See ``docs/observability.md``.
         """
         from .obs.audit import ShadowAuditor
+        from .shard import ShardedSketch
 
+        if any(isinstance(s, ShardedSketch) for s in self._sketches):
+            raise ConfigurationError(
+                "auditing a sharded monitor is not supported: the ingest "
+                "tap lives on each shard's worker-side engine, so a "
+                "parent-side auditor would sample nothing; audit an "
+                "unsharded monitor at the same per-shard configuration "
+                "instead"
+            )
         auditor = ShadowAuditor(
             self, sample_rate=sample_rate, every_items=every_items,
             seed=self.seed if seed is None else seed,
@@ -234,11 +296,19 @@ class ItemBatchMonitor:
                            span=span, begin=begin)
 
     def predicted_fpr(self) -> "float | None":
-        """§5.1's predicted activeness FPR at this configuration."""
+        """§5.1's predicted activeness FPR at this configuration.
+
+        For a sharded monitor the accuracy-relevant size is one
+        shard's footprint (every replica spans the full cell space and
+        the merged view behaves like a single shard-sized filter), so
+        the prediction uses ``shard_memory_bits`` when the task is a
+        :class:`~repro.shard.ShardedSketch`.
+        """
         if self.activeness is None:
             return None
-        return membership_fpr(self.activeness.memory_bits(),
-                              self.window.length, self.activeness.s,
+        bits = getattr(self.activeness, "shard_memory_bits",
+                       self.activeness.memory_bits)()
+        return membership_fpr(bits, self.window.length, self.activeness.s,
                               k=self.activeness.k)
 
     def memory_bits(self) -> int:

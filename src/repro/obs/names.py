@@ -57,6 +57,12 @@ __all__ = [
     "AUDIT_ERROR_WINDOW_LENGTH",
     "AUDIT_ABS_ERROR",
     "AUDIT_ALERTS_TOTAL",
+    # shard router / worker pool
+    "SHARD_ITEMS_ROUTED_TOTAL",
+    "SHARD_BATCHES_ROUTED_TOTAL",
+    "SHARD_QUEUE_DEPTH",
+    "SHARD_MERGES_TOTAL",
+    "SHARD_MERGE_SECONDS",
     # structured event log
     "OBS_EVENTS_TOTAL",
 ]
@@ -142,6 +148,19 @@ AUDIT_ERROR_WINDOW_LENGTH = "repro_audit_error_window_length"
 AUDIT_ABS_ERROR = "repro_audit_abs_error"
 #: Drift alerts raised, labelled ``{task, kind}``.
 AUDIT_ALERTS_TOTAL = "repro_audit_alerts_total"
+
+# ---------------------------------------------------------------------- shard
+#: Items routed to each shard, labelled ``{shard}``.
+SHARD_ITEMS_ROUTED_TOTAL = "repro_shard_items_routed_total"
+#: Scatter batches dispatched to each shard, labelled ``{shard}``.
+SHARD_BATCHES_ROUTED_TOTAL = "repro_shard_batches_routed_total"
+#: Pending commands in a worker's queue at dispatch time, labelled
+#: ``{shard}`` (gauge; serial routers report 0).
+SHARD_QUEUE_DEPTH = "repro_shard_queue_depth"
+#: Merged global snapshots built, labelled by sketch class.
+SHARD_MERGES_TOTAL = "repro_shard_merges_total"
+#: Wall-clock seconds per merged-snapshot build (log-2 buckets).
+SHARD_MERGE_SECONDS = "repro_shard_merge_seconds"
 
 # --------------------------------------------------------------------- events
 #: Structured observability events recorded, labelled ``{severity, kind}``.

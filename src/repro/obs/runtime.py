@@ -431,6 +431,56 @@ def record_audit_ingest(sampled: int, shadow_keys: int) -> None:
     keys_g.set(shadow_keys)
 
 
+def record_shard_route(shard: int, items: int, depth: int = 0) -> None:
+    """One scatter batch dispatched to a shard, with its queue depth.
+
+    ``depth`` is the number of commands already pending in the shard's
+    worker queue at dispatch time (0 for the serial router, which
+    applies batches inline).
+    """
+    key = ("shard_route", shard)
+    series = _SERIES.get(key)
+    if series is None:
+        reg = registry()
+        labels = {"shard": str(shard)}
+        series = (
+            reg.counter(names.SHARD_ITEMS_ROUTED_TOTAL,
+                        "Items routed to this shard.", labels=labels),
+            reg.counter(names.SHARD_BATCHES_ROUTED_TOTAL,
+                        "Scatter batches dispatched to this shard.",
+                        labels=labels),
+            reg.gauge(names.SHARD_QUEUE_DEPTH,
+                      "Commands pending in the shard's worker queue "
+                      "at dispatch time.", labels=labels),
+        )
+        _SERIES[key] = series
+    items_c, batches_c, depth_g = series
+    items_c.inc(items)
+    batches_c.inc()
+    depth_g.set(depth)
+
+
+def record_shard_merge(sketch: str, shards: int, seconds: float) -> None:
+    """One merged global snapshot built from per-shard replicas."""
+    key = ("shard_merge", sketch)
+    series = _SERIES.get(key)
+    if series is None:
+        reg = registry()
+        labels = {"sketch": sketch}
+        series = (
+            reg.counter(names.SHARD_MERGES_TOTAL,
+                        "Merged global snapshots built.", labels=labels),
+            reg.histogram(names.SHARD_MERGE_SECONDS,
+                          "Wall-clock seconds per merged-snapshot build "
+                          "(log-2 buckets).",
+                          labels=labels, bounds=SECONDS_BOUNDS),
+        )
+        _SERIES[key] = series
+    merges_c, seconds_h = series
+    merges_c.inc()
+    seconds_h.observe(seconds)
+
+
 def publish_monitor(memory_bits: int, split: "Mapping[str, float]") -> None:
     """Publish an ItemBatchMonitor's footprint and normalised split."""
     reg = registry()

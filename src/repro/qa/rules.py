@@ -84,7 +84,8 @@ class ModuleScope:
 
     hot_path: bool      # SK101: core/, engine/, hashing/
     dtype_scope: bool   # SK102: core/, engine/
-    clock_scope: bool   # SK103: core/, engine/, serialize.py — minus clockarray.py
+    clock_scope: bool   # SK103: core/, engine/, shard/, serialize.py
+                        #        — minus clockarray.py
     metric_scope: bool  # SK106: everywhere except tests/
 
 
@@ -100,7 +101,8 @@ def scope_for_path(path: str) -> ModuleScope:
     basename = parts[-1] if parts else ""
     hot = bool(segments & {"core", "engine", "hashing"})
     dtype_scope = bool(segments & {"core", "engine"})
-    clock_scope = (dtype_scope or basename == "serialize.py") \
+    clock_scope = (dtype_scope or "shard" in segments
+                   or basename == "serialize.py") \
         and basename != "clockarray.py"
     metric_scope = "tests" not in segments
     return ModuleScope(hot_path=hot, dtype_scope=dtype_scope,

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import io
 import os
-from typing import IO, Any, Mapping, Union
+from typing import IO, TYPE_CHECKING, Any, Mapping, Union
+
+if TYPE_CHECKING:  # runtime import would be circular (shard imports us)
+    from .shard import ShardedSketch
 
 import numpy as np
 
@@ -21,8 +24,12 @@ from .timebase import WindowKind, WindowSpec
 
 __all__ = ["dump_sketch", "dumps_sketch", "load_sketch", "loads_sketch"]
 
-#: The union of serialisable sketch types.
+#: The union of serialisable plain sketch types.
 Sketch = Union[ClockBloomFilter, ClockBitmap, ClockCountMin, ClockTimeSpanSketch]
+
+#: Everything the dump/load entry points accept: plain sketches plus
+#: the sharded facade (flattened to per-shard payloads).
+AnySketch = Union[Sketch, "ShardedSketch"]
 
 _KINDS: "dict[str, type]" = {
     "ClockBloomFilter": ClockBloomFilter,
@@ -40,6 +47,34 @@ def _window_fields(window: WindowSpec) -> "tuple[float, str]":
 
 def _build_window(length: float, kind: str) -> WindowSpec:
     return WindowSpec(length=length, kind=WindowKind(kind))
+
+
+def _payload_any(sketch: AnySketch) -> "dict[str, Any]":
+    """Payload for any serialisable sketch, sharded facades included."""
+    from .shard import ShardedSketch  # local: shard imports this module
+
+    if isinstance(sketch, ShardedSketch):
+        return _payload_sharded(sketch)
+    return _payload(sketch)
+
+
+def _payload_sharded(sketch: Any) -> "dict[str, Any]":
+    """Flatten a sharded facade: header plus ``shard{i}__``-prefixed
+    replica payloads. Live worker pools are synchronised (barrier) so
+    the parent-side replicas hold each shard's final state."""
+    if not getattr(sketch.router, "_closed", False):
+        sketch.router.barrier(sketch.now)
+    payload: "dict[str, Any]" = {
+        "kind": np.array("ShardedSketch"),
+        "shards": np.array(sketch.shards),
+        "router_kind": np.array(sketch.router.kind),
+        "now": np.array(sketch.now),
+        "items_inserted": np.array(sketch.items_inserted),
+    }
+    for i, replica in enumerate(sketch.router.replicas):
+        for key, value in _payload(replica).items():
+            payload[f"shard{i}__{key}"] = value
+    return payload
 
 
 def _payload(sketch: Sketch) -> "dict[str, Any]":
@@ -76,6 +111,38 @@ def _payload(sketch: Sketch) -> "dict[str, Any]":
         payload["n"] = np.array(sketch.n)
         payload["timestamps"] = sketch.timestamps
     return payload
+
+
+def _restore_any(payload: "Mapping[str, Any]") -> AnySketch:
+    if str(payload["kind"]) == "ShardedSketch":
+        return _restore_sharded(payload)
+    return _restore(payload)
+
+
+def _restore_sharded(payload: "Mapping[str, Any]") -> Any:
+    """Rebuild a sharded facade from its flattened payload.
+
+    Replicas restore individually (each through the validating
+    ``load_values`` path), then reassemble under the router kind the
+    facade was saved with — a ``"process"`` facade restarts its worker
+    pool, each worker rehydrating from its shard's saved state.
+    """
+    from .shard import ShardedSketch  # local: shard imports this module
+
+    facade: Any = ShardedSketch
+    shards = int(payload["shards"])
+    replicas = []
+    for i in range(shards):
+        prefix = f"shard{i}__"
+        sub = {key[len(prefix):]: payload[key]
+               for key in payload.keys() if key.startswith(prefix)}
+        replicas.append(_restore(sub))
+    sketch = facade(None, shards=shards,
+                    router=str(payload["router_kind"]),
+                    _replicas=replicas)
+    sketch._now = float(payload["now"])
+    sketch._items_inserted = int(payload["items_inserted"])
+    return sketch
 
 
 def _restore(payload: "Mapping[str, Any]") -> Sketch:
@@ -120,25 +187,25 @@ def _restore(payload: "Mapping[str, Any]") -> Sketch:
     return sketch
 
 
-def dump_sketch(sketch: Sketch, path: _PathOrFile) -> None:
-    """Serialise a sketch to an ``.npz`` file."""
-    np.savez_compressed(path, **_payload(sketch))
+def dump_sketch(sketch: AnySketch, path: _PathOrFile) -> None:
+    """Serialise a sketch (plain or sharded) to an ``.npz`` file."""
+    np.savez_compressed(path, **_payload_any(sketch))
 
 
-def dumps_sketch(sketch: Sketch) -> bytes:
-    """Serialise a sketch to bytes (for network transfer)."""
+def dumps_sketch(sketch: AnySketch) -> bytes:
+    """Serialise a sketch (plain or sharded) to bytes."""
     buffer = io.BytesIO()
-    np.savez_compressed(buffer, **_payload(sketch))
+    np.savez_compressed(buffer, **_payload_any(sketch))
     return buffer.getvalue()
 
 
-def load_sketch(path: _PathOrFile) -> Sketch:
+def load_sketch(path: _PathOrFile) -> AnySketch:
     """Restore a sketch from an ``.npz`` file."""
     with np.load(path, allow_pickle=False) as payload:
-        return _restore(payload)
+        return _restore_any(payload)
 
 
-def loads_sketch(data: bytes) -> Sketch:
+def loads_sketch(data: bytes) -> AnySketch:
     """Restore a sketch from bytes produced by :func:`dumps_sketch`."""
     with np.load(io.BytesIO(data), allow_pickle=False) as payload:
-        return _restore(payload)
+        return _restore_any(payload)

@@ -1,0 +1,14 @@
+"""Sharded multi-worker ingestion with mergeable clock sketches.
+
+One logical sketch, ``P`` key-partitioned replicas: items route by a
+dedicated shard hash, each replica ingests its sub-stream through the
+ordinary batch engine (inline, or in its own worker process over shared
+memory), and queries are answered from a merged global view built by
+element-wise clock union. See ``docs/sharding.md`` for the exactness
+guarantees per sketch kind.
+"""
+
+from .router import SerialShardRouter, ShardedSketch
+from .workers import ProcessShardRouter
+
+__all__ = ["ProcessShardRouter", "SerialShardRouter", "ShardedSketch"]

@@ -64,6 +64,15 @@ class TestScoping:
         assert scope_for_path("src/repro/serialize.py").clock_scope
         assert not scope_for_path("src/repro/metrics/report.py").hot_path
 
+    def test_shard_modules_are_clock_scoped(self):
+        # The shard router merges clock state, so SK103 (no raw cell
+        # writes) must cover it — but not the vectorisation/dtype rules
+        # aimed at the hot sketch paths.
+        scope = scope_for_path("src/repro/shard/router.py")
+        assert scope.clock_scope
+        assert not scope.hot_path
+        assert not scope.dtype_scope
+
     def test_hot_path_rules_skip_cold_modules(self):
         cold = "src/repro/workloads/fixture.py"
         assert lint_source(load("sk101_bad.py"), cold) == []
@@ -87,6 +96,18 @@ class TestScoping:
         assert {f.rule for f in lint_source(load("sk106_bad.py"), cold)} \
             == {"SK106"}
         assert lint_source(load("sk106_bad.py"), "tests/test_obs.py") == []
+
+    def test_sk103_flags_raw_merges_in_shard_modules(self):
+        shard_path = "src/repro/shard/fixture.py"
+        findings = lint_source(load("sk103_shard_bad.py"), shard_path)
+        assert {f.rule for f in findings} == {"SK103"}
+        # three raw cell writes (direct, masked, aliased) + one
+        # `1 << s` width computation
+        assert len(findings) == 4
+
+    def test_sk103_shard_good_fixture_is_silent(self):
+        shard_path = "src/repro/shard/fixture.py"
+        assert lint_source(load("sk103_shard_good.py"), shard_path) == []
 
 
 class TestSuppressions:

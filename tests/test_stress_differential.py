@@ -20,7 +20,10 @@ from repro import (
     ClockBloomFilter,
     ClockCountMin,
     ClockTimeSpanSketch,
+    ShardedSketch,
     count_window,
+    dumps_sketch,
+    loads_sketch,
 )
 from repro.baselines import (
     IdealSlidingBloom,
@@ -168,3 +171,105 @@ class TestSweepModeAgreement:
             vec.insert(key)
             sca.insert(key)
         assert np.array_equal(vec.clock.values, sca.clock.values)
+
+
+class TestShardedPathAgreement:
+    """One fuzzed stream through three ingestion paths — scalar insert,
+    batch engine, sharded router — held to pairwise agreement on every
+    query type, with serialize round-trips of the merged state."""
+
+    @given(keys=workloads, window=st.integers(4, 64),
+           shards=st.integers(1, 4), seed=st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_bloom_three_paths_agree(self, keys, window, shards, seed):
+        w = count_window(window)
+        def make():
+            return ClockBloomFilter(n=128, k=2, s=3, window=w, seed=seed)
+        scalar = make()
+        for key in keys:
+            scalar.insert(key)
+        batch = make()
+        batch.insert_many(keys)
+        sharded = ShardedSketch(make, shards=shards, router="serial")
+        sharded.insert_many(keys)
+        probe = sorted(set(keys))
+        a = np.asarray(scalar.contains_many(probe))
+        b = np.asarray(batch.contains_many(probe))
+        c = np.asarray(sharded.contains_many(probe))
+        assert np.array_equal(a, b)
+        # The merge theorem: clock-only kinds are exactly the plain
+        # sketch at ANY shard count, not only approximately.
+        assert np.array_equal(b, c)
+        restored = loads_sketch(dumps_sketch(sharded))
+        assert np.array_equal(np.asarray(restored.contains_many(probe)), c)
+
+    @given(keys=workloads, window=st.integers(4, 64),
+           shards=st.integers(1, 4), seed=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_bitmap_three_paths_agree(self, keys, window, shards, seed):
+        w = count_window(window)
+        def make():
+            return ClockBitmap(n=512, s=3, window=w, seed=seed)
+        scalar = make()
+        for key in keys:
+            scalar.insert(key)
+        batch = make()
+        batch.insert_many(keys)
+        sharded = ShardedSketch(make, shards=shards, router="serial")
+        sharded.insert_many(keys)
+        assert scalar.estimate().value == batch.estimate().value
+        assert batch.estimate().value == sharded.estimate().value
+        restored = loads_sketch(dumps_sketch(sharded))
+        assert restored.estimate().value == sharded.estimate().value
+
+    @given(keys=workloads, window=st.integers(4, 64),
+           shards=st.integers(2, 4), seed=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_countmin_sharded_bracketed(self, keys, window, shards, seed):
+        w = count_window(window)
+        def make():
+            return ClockCountMin(width=64, depth=2, s=3, window=w, seed=seed)
+        scalar = make()
+        for key in keys:
+            scalar.insert(key)
+        batch = make()
+        batch.insert_many(keys)
+        sharded = ShardedSketch(make, shards=shards, router="serial")
+        sharded.insert_many(keys)
+        truth = _truth(keys, w)
+        probe = truth.active_keys()
+        a = np.asarray(scalar.query_many(probe))
+        b = np.asarray(batch.query_many(probe))
+        c = np.asarray(sharded.query_many(probe))
+        exact = np.asarray([truth.size(key) for key in probe])
+        assert np.array_equal(a, b)
+        # Key-partitioning removes cross-shard collisions, so the
+        # merged count sits between the exact size and the plain one.
+        assert np.all(exact <= c)
+        assert np.all(c <= b)
+        restored = loads_sketch(dumps_sketch(sharded))
+        assert np.array_equal(np.asarray(restored.query_many(probe)), c)
+
+    @given(keys=workloads, window=st.integers(4, 64),
+           shards=st.integers(1, 4), seed=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_timespan_sharded_never_underestimates(self, keys, window,
+                                                   shards, seed):
+        w = count_window(window)
+        def make():
+            return ClockTimeSpanSketch(n=256, k=2, s=3, window=w, seed=seed)
+        scalar = make()
+        for key in keys:
+            scalar.insert(key)
+        sharded = ShardedSketch(make, shards=shards, router="serial")
+        sharded.insert_many(keys)
+        truth = _truth(keys, w)
+        probe = truth.active_keys()
+        result = sharded.query_many(probe)
+        for i, key in enumerate(probe):
+            assert result.active[i]
+            assert result.span[i] >= truth.span(key) - 1e-9
+        restored = loads_sketch(dumps_sketch(sharded))
+        again = restored.query_many(probe)
+        assert np.array_equal(np.asarray(again.span),
+                              np.asarray(result.span), equal_nan=True)

@@ -5,26 +5,75 @@ speedup on a 1M-item synthetic stream (Table 3 configurations, exact
 vector sweep mode). Both paths are bit-identical in final sketch state
 (property-tested in tests/test_engine_equivalence.py), so the speedup
 is pure implementation. The acceptance floor is 5x.
+
+A second benchmark compares kernel backends (repro.kernels): with
+numba importable, the compiled backend must beat the numpy reference
+by >= 2x on the fused 1M-item path; without numba it is skipped.
+
+Set BATCH_BENCH_QUICK=1 for a reduced stream (CI smoke); the speedup
+floors are not asserted on the reduced stream.
 """
 
 import json
+import os
+
+import pytest
 
 from repro.bench.experiments import batch_throughput
+from repro.kernels import numba_available
 
-from conftest import RESULTS_DIR, run_once
+from conftest import RESULTS_DIR, bench_payload, run_once
+
+QUICK = os.environ.get("BATCH_BENCH_QUICK", "") not in ("", "0")
 
 
 def test_batch_throughput(benchmark, record_result):
-    result = run_once(benchmark, batch_throughput.run, seed=1)
+    result = run_once(benchmark, batch_throughput.run, quick=QUICK, seed=1)
     record_result("batch", result)
 
-    payload = {
-        "title": result.title,
-        "columns": list(result.columns),
-        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
-    }
     (RESULTS_DIR / "BENCH_batch.json").write_text(
-        json.dumps(payload, indent=2, default=float) + "\n")
+        json.dumps(bench_payload(result), indent=2, default=float) + "\n")
 
+    if QUICK:
+        return
     for row in result.rows:
         assert row["speedup"] >= 5.0
+
+
+@pytest.mark.skipif(not numba_available(),
+                    reason="numba not installed; compiled backend absent")
+def test_kernel_backend_speedup(benchmark, record_result):
+    """Compiled kernels vs the numpy reference on the fused batch path."""
+    def compare():
+        numpy_res = batch_throughput.run(quick=QUICK, seed=1, kernel="numpy")
+        # Warm-up run first so JIT compilation stays out of the timing.
+        batch_throughput.run(quick=True, seed=1, kernel="numba")
+        numba_res = batch_throughput.run(quick=QUICK, seed=1, kernel="numba")
+        return numpy_res, numba_res
+
+    numpy_res, numba_res = run_once(benchmark, compare)
+    record_result("kernel_numba", numba_res)
+
+    rows = []
+    for np_row, nb_row in zip(numpy_res.rows, numba_res.rows):
+        rows.append({
+            "variant": np_row["variant"],
+            "n_items": np_row["n_items"],
+            "numpy_ips": np_row["batch_ips"],
+            "numba_ips": nb_row["batch_ips"],
+            "speedup": nb_row["batch_ips"] / np_row["batch_ips"],
+        })
+    payload = {
+        "title": "Kernel backends: numba vs numpy batch ingestion",
+        "columns": ["variant", "n_items", "numpy_ips", "numba_ips",
+                    "speedup"],
+        "rows": rows,
+        "kernel": {"compared": ["numpy", "numba"]},
+    }
+    (RESULTS_DIR / "BENCH_kernel_backends.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+
+    if QUICK:
+        return
+    for row in rows:
+        assert row["speedup"] >= 2.0, row

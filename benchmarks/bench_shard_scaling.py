@@ -18,7 +18,7 @@ import os
 
 from repro.bench.experiments import shard_scaling
 
-from conftest import RESULTS_DIR, run_once
+from conftest import RESULTS_DIR, bench_payload, run_once
 
 QUICK = os.environ.get("SHARD_BENCH_QUICK", "") not in ("", "0")
 
@@ -27,13 +27,8 @@ def test_shard_scaling(benchmark, record_result):
     result = run_once(benchmark, shard_scaling.run, quick=QUICK, seed=1)
     record_result("shard_scaling", result)
 
-    payload = {
-        "title": result.title,
-        "columns": list(result.columns),
-        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
-    }
     (RESULTS_DIR / "BENCH_shard_scaling.json").write_text(
-        json.dumps(payload, indent=2, default=float) + "\n")
+        json.dumps(bench_payload(result), indent=2, default=float) + "\n")
 
     for row in result.rows:
         assert row["ips"] > 0

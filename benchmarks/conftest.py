@@ -3,13 +3,47 @@
 Every benchmark runs one paper experiment (at paper parameters unless
 noted), times it via pytest-benchmark, prints the reproduced series,
 and archives it under ``benchmarks/results/``.
+
+``--kernel {auto,numpy,numba}`` selects the kernel backend for the
+whole benchmark session (default: the ``REPRO_KERNEL`` environment
+variable, else ``auto``); the resolved backend is stamped into every
+``BENCH_*.json`` payload via :func:`bench_payload`.
 """
 
 import pathlib
 
 import pytest
 
+from repro.kernels import kernel_info, set_default_backend
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--kernel", action="store", default=None,
+        choices=("auto", "numpy", "numba"),
+        help="kernel backend for the numeric hot path (default: "
+             "REPRO_KERNEL env var, else auto)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _apply_kernel_option(request):
+    """Pin the session's process-default backend from ``--kernel``."""
+    choice = request.config.getoption("--kernel")
+    if choice is not None:
+        set_default_backend(choice)
+
+
+def bench_payload(result):
+    """JSON payload for one ExperimentResult, stamped with the backend."""
+    return {
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
+        "kernel": kernel_info(),
+    }
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...core.clockarray import ClockArray, snapshot_values
+from ...core.clockarray import ClockArray
 from ...core.params import cells_for_memory, optimal_k_membership
 from ...hashing import bulk_base_hashes
 from ...timebase import count_window
@@ -38,8 +38,8 @@ def _membership_with_matrix(index_matrix, query_matrix, set_steps, probe,
     np.maximum.at(last_set, index_matrix.ravel(), np.repeat(set_steps, k))
     values = np.zeros(n, dtype=np.int64)
     touched = np.flatnonzero(last_set >= 0)
-    values[touched] = snapshot_values(last_set[touched], touched, n,
-                                      probe.max_value, query_steps)
+    values[touched] = probe.kernels.snapshot_values(
+        last_set[touched], touched, n, probe.max_value, query_steps)
     return np.all(values[query_matrix] > 0, axis=1)
 
 

@@ -25,7 +25,7 @@ from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
-from .clockarray import ClockArray, snapshot_values
+from .clockarray import ClockArray
 from .params import OPTIMAL_S_MEMBERSHIP, cells_for_memory, optimal_k_membership
 
 __all__ = ["ClockBloomFilter", "snapshot_membership"]
@@ -243,7 +243,7 @@ def snapshot_membership(
 
     values = np.zeros(n, dtype=np.int64)
     touched = np.flatnonzero(last_set >= 0)
-    values[touched] = snapshot_values(
+    values[touched] = probe.kernels.snapshot_values(
         last_set[touched], touched, n, max_value, query_steps
     )
 

@@ -21,7 +21,7 @@ from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 from ..units import parse_memory
 from .base import ClockSketchBase
-from .clockarray import ClockArray, snapshot_values
+from .clockarray import ClockArray
 from .params import cells_for_memory
 
 __all__ = ["ClockBitmap", "CardinalityEstimate", "linear_counting_estimate",
@@ -248,7 +248,7 @@ def snapshot_cardinality(
     np.maximum.at(last_set, cells, set_steps)
 
     touched = np.flatnonzero(last_set >= 0)
-    live = snapshot_values(last_set[touched], touched, n, probe.max_value,
-                           query_steps)
+    live = probe.kernels.snapshot_values(last_set[touched], touched, n,
+                                         probe.max_value, query_steps)
     nonzero = int(np.count_nonzero(live > 0))
     return linear_counting_estimate(n - nonzero, n, strict)

@@ -36,6 +36,11 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError, TimeError
+# Back-compat re-exports: the closed-form kernels moved to
+# repro.kernels (numpy reference backend); importing them from here
+# keeps every historical call site working.
+from ..kernels.numpy_backend import snapshot_values, sweep_hits  # noqa: F401
+from ..kernels import resolve_backend
 from ..obs import runtime as _obs
 from ..timebase import WindowSpec
 
@@ -73,37 +78,6 @@ def dtype_for_bits(s: int) -> np.dtype:
     return np.dtype(np.uint64)
 
 
-def sweep_hits(total_steps, cells, n: int):
-    """How many times each cell was decremented within the first steps.
-
-    With sweep steps numbered ``1, 2, ...`` (step ``j`` decrements cell
-    ``(j - 1) mod n``), returns the number of steps in ``[1, total_steps]``
-    that hit ``cells``. Vectorised over numpy arrays; also accepts
-    scalars.
-    """
-    m = np.asarray(total_steps, dtype=np.int64)
-    c = np.asarray(cells, dtype=np.int64)
-    return np.where(m >= c + 1, (m - 1 - c) // n + 1, 0)
-
-
-def snapshot_values(
-    set_steps: np.ndarray,
-    cells: np.ndarray,
-    n: int,
-    max_value: int,
-    query_steps: int,
-) -> np.ndarray:
-    """Closed-form clock value of each cell at query time.
-
-    ``set_steps[i]`` is the cleaner's total step count when cell
-    ``cells[i]`` was last set to ``max_value``; ``query_steps`` is the
-    total step count at query time. Equals what the incremental
-    :class:`ClockArray` would hold — the cross-check is a property test.
-    """
-    decs = sweep_hits(query_steps, cells, n) - sweep_hits(set_steps, cells, n)
-    return np.maximum(max_value - decs, 0)
-
-
 class ClockArray:
     """An ``s``-bit clock cell array with a lazily-driven cleaning pointer.
 
@@ -135,10 +109,18 @@ class ClockArray:
         preserved, and staleness remains bounded by one extra circle.
         The exact modes (``vector``/``scalar``) preserve the full
         guarantee.
+    kernel_backend:
+        A :class:`~repro.kernels.KernelBackend` (or backend name, or
+        None for the process default) providing the primitive numeric
+        kernels — vector sweeps, closed-form snapshots, fused batch
+        finishers. Resolved once at construction via
+        :func:`repro.kernels.resolve_backend` and exposed as
+        ``self.kernels``; every backend is bit-identical, so this is
+        purely a speed choice.
     """
 
     def __init__(self, n: int, s: int, window: WindowSpec, on_expire=None,
-                 sweep_mode: str = "vector"):
+                 sweep_mode: str = "vector", kernel_backend=None):
         if not 2 <= s <= 64:
             raise ConfigurationError(f"clock cell size s must be in 2..64, got {s}")
         if n <= 0:
@@ -153,6 +135,7 @@ class ClockArray:
         self.values = np.zeros(self.n, dtype=dtype_for_bits(s))
         self.on_expire = on_expire
         self.sweep_mode = sweep_mode
+        self.kernels = resolve_backend(kernel_backend)
         self._steps_done = 0
         self._now = 0.0
         # Sweep telemetry: plain ints maintained unconditionally (the
@@ -286,18 +269,15 @@ class ClockArray:
                 self.on_expire(expired)
 
     def _sweep_vector(self, delta: int) -> None:
-        """Perform ``delta`` sweep steps with numpy range operations."""
+        """Perform ``delta`` sweep steps through the kernel backend."""
         start = self._steps_done % self.n
-        values = self.values
         full_rounds, remainder = divmod(delta, self.n)
         if full_rounds:
             # Every cell is decremented ``full_rounds`` times; clamping
             # the round count at max_value keeps the subtrahend inside
             # the cell dtype.
             rounds = min(full_rounds, self.max_value)
-            was_positive = values > 0
-            np.subtract(values, np.minimum(values, values.dtype.type(rounds)), out=values)
-            self._emit_expired(np.flatnonzero(was_positive & (values == 0)))
+            self._emit_expired(self.kernels.decay_all(self.values, rounds))
         if remainder:
             end = start + remainder
             if end <= self.n:
@@ -308,12 +288,9 @@ class ClockArray:
 
     def _decrement_range(self, a: int, b: int) -> None:
         """Decrement (clamped at zero) cells ``a..b-1`` once."""
-        seg = self.values[a:b]
-        positive = seg > 0
-        seg[positive] -= 1
-        expired = np.flatnonzero(positive & (seg == 0))
+        expired = self.kernels.decrement_range(self.values, a, b)
         if expired.size:
-            self._emit_expired(expired + a)
+            self._emit_expired(expired)
 
     def _sweep_scalar(self, delta: int) -> None:
         """Perform ``delta`` sweep steps one cell at a time (reference)."""

@@ -8,8 +8,9 @@ picks an application strategy, and commits the sketch's temporal
 bookkeeping once the batch is applied:
 
 - **fused** (exact sweep modes, batches of :data:`DEFAULT_MIN_FUSED`
-  or more): closed-form numpy application via :mod:`repro.engine.fused`
-  — bit-identical to the scalar loop, no per-item Python work;
+  or more): closed-form application through the clock's kernel backend
+  (``clock.kernels.fuse_*``, see :mod:`repro.kernels`) — bit-identical
+  to the scalar loop under every backend, no per-item Python work;
 - **loop** (exact modes, small batches): the reference per-item
   interleaving of ``advance`` and cell writes;
 - **deferred** (deferred sweep modes): the one-cleaning-circle chunked
@@ -32,7 +33,6 @@ import numpy as np
 
 from ..errors import TimeError
 from ..obs import runtime as _obs
-from .fused import fuse_countmin, fuse_timespan, fuse_touch
 
 __all__ = ["BatchEngine", "DEFAULT_MIN_FUSED"]
 
@@ -163,7 +163,7 @@ class BatchEngine:
         elif count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            cleaned = fuse_touch(
+            cleaned = clock.kernels.fuse_touch(
                 clock,
                 index_matrix.ravel(),
                 np.repeat(steps, index_matrix.shape[1]),
@@ -216,7 +216,7 @@ class BatchEngine:
         elif count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            cleaned = fuse_timespan(
+            cleaned = clock.kernels.fuse_timespan(
                 clock,
                 timestamps,
                 index_matrix.ravel(),
@@ -277,7 +277,7 @@ class BatchEngine:
         elif not sketch.conservative and count >= self.min_fused:
             steps = clock.step_targets(times_arr)
             end_steps = int(steps[-1])
-            cleaned = fuse_countmin(
+            cleaned = clock.kernels.fuse_countmin(
                 clock,
                 counters,
                 sketch.counter_max,

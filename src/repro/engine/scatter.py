@@ -1,49 +1,15 @@
-"""Scatter-by-shard fan-out of an ``insert_many`` batch.
+"""Scatter-by-shard fan-out — moved to :mod:`repro.kernels`.
 
-The shard router partitions one arrival-ordered batch into per-shard
-sub-batches: every item keeps its resolved global arrival time, and
-each shard's sub-batch preserves the original stream order (it is a
-subsequence of the batch). This is the batch-engine layer of
-:mod:`repro.shard` — the per-shard sub-batches then flow through each
-replica's ordinary :class:`~repro.engine.batch.BatchEngine` paths.
+The batch fan-out primitives now live in the kernel-backend layer
+(:mod:`repro.kernels.numpy_backend` holds the reference
+implementations) and the shard router dispatches through its replicas'
+``clock.kernels``. This module re-exports the numpy reference
+functions so historical imports (``from repro.engine.scatter import
+scatter_by_shard``) keep working.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..kernels.numpy_backend import scatter_by_shard, take_subset
 
 __all__ = ["scatter_by_shard", "take_subset"]
-
-
-def take_subset(items, mask: np.ndarray):
-    """Select the masked subset of a stream batch, preserving order.
-
-    ``items`` may be a numpy key array (fancy-indexed, stays an array
-    so the fully vectorised hashing paths keep applying) or any
-    sequence of hashable stream items (returned as a list).
-    """
-    if isinstance(items, np.ndarray):
-        return items[mask]
-    if not isinstance(items, (list, tuple)):
-        items = list(items)
-    picked = np.flatnonzero(mask)
-    return [items[i] for i in picked]  # sketchlint: scalar-ok
-
-
-def scatter_by_shard(items, times_arr: np.ndarray, shard_ids: np.ndarray,
-                     ) -> "list[tuple[int, object, np.ndarray]]":
-    """Split one batch into per-shard ``(shard, items, times)`` tuples.
-
-    ``shard_ids`` aligns with ``items`` (one routing id per item, from
-    :class:`~repro.hashing.ShardSelector`); ``times_arr`` holds the
-    already-resolved global arrival times. Only shards that actually
-    receive items appear in the result, in ascending shard order; the
-    concatenation of all sub-batches in time order is exactly the input
-    batch.
-    """
-    shard_ids = np.asarray(shard_ids, dtype=np.int64)
-    out: "list[tuple[int, object, np.ndarray]]" = []
-    for shard in np.unique(shard_ids):
-        mask = shard_ids == shard
-        out.append((int(shard), take_subset(items, mask), times_arr[mask]))
-    return out

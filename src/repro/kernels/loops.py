@@ -1,0 +1,285 @@
+"""Loop-form kernels: the numba-compilable twin of the numpy backend.
+
+:func:`build_kernels` constructs the primitive kernels as plain Python
+functions written in the restricted style ``numba.njit`` accepts in
+nopython mode — scalar loops over pre-allocated int64/float64 arrays,
+no object-mode escapes, no allocation inside the kernels. Passing a
+``jit`` decorator compiles every kernel (and the scalar ``hits`` helper
+they share); passing ``None`` returns the same functions un-jitted,
+which gives a slow but dependency-free *pure-Python* backend — the
+differential twin used to test the kernel algorithms on hosts without
+numba.
+
+:class:`LoopKernelBackend` wraps the kernels behind the
+:class:`~repro.kernels.KernelBackend` seam. The closed-form query
+arithmetic (``sweep_hits`` / ``snapshot_values``) and the shard scatter
+fan-out are inherited from :class:`NumpyKernelBackend` unchanged —
+those are already single numpy expressions with nothing to compile; the
+loop kernels replace the *mutation-heavy* primitives where the batch
+time actually goes (vector sweep, decrement range, the three fused
+finishers).
+
+Bit-identity with the numpy backend is enforced by
+``tests/test_kernel_backends.py``; the per-event recurrences below are
+the sequential form of the segment reconstruction in
+:mod:`repro.kernels.numpy_backend` (see the comments on each kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import runtime as _obs
+from .numpy_backend import NumpyKernelBackend
+
+__all__ = ["LoopKernelBackend", "build_kernels"]
+
+
+def build_kernels(jit=None) -> dict:
+    """Build the loop kernels, optionally through a ``jit`` decorator.
+
+    Returns a dict of kernels keyed ``decay`` / ``decrange`` /
+    ``touch`` / ``timespan`` / ``countmin``. All array arguments are
+    int64 except ``timestamps``/``stamps`` (float64); callers allocate
+    every array (kernels never allocate, so nopython mode has nothing
+    to box).
+    """
+    deco = jit if jit is not None else (lambda f: f)
+
+    @deco
+    def hits(m, c, n):
+        # Scalar form of sweep_hits: steps in [1, m] that hit cell c.
+        if m >= c + 1:
+            return (m - 1 - c) // n + 1
+        return 0
+
+    @deco
+    def decay(work, rounds, expired):
+        # Every cell loses `rounds` (clamped at zero); record expiries.
+        count = 0
+        for c in range(work.shape[0]):
+            v = work[c]
+            if v > 0:
+                v2 = v - rounds
+                if v2 < 0:
+                    v2 = 0
+                work[c] = v2
+                if v2 == 0:
+                    expired[count] = c
+                    count += 1
+        return count
+
+    @deco
+    def decrange(work, a, b, expired):
+        # One sweep pass over cells a..b-1; record absolute expiries.
+        count = 0
+        for c in range(a, b):
+            v = work[c]
+            if v > 0:
+                work[c] = v - 1
+                if v == 1:
+                    expired[count] = c
+                    count += 1
+        return count
+
+    @deco
+    def touch(old, cells, steps, last, final, start_steps, end_steps,
+              max_value, n):
+        # Pass 1: per-cell last touch step (`last` arrives filled -1).
+        for i in range(cells.shape[0]):
+            c = cells[i]
+            if steps[i] > last[c]:
+                last[c] = steps[i]
+        # Pass 2: closed-form final value per cell — touched cells decay
+        # from max_value at their last touch, untouched cells from their
+        # pre-batch value; `cleaned` counts live-before/zero-after,
+        # which equals nonzero(before) - nonzero(after) + born.
+        cleaned = 0
+        for c in range(n):
+            if last[c] >= 0:
+                v = max_value - (hits(end_steps, c, n) - hits(last[c], c, n))
+            else:
+                v = old[c] - (hits(end_steps, c, n) - hits(start_steps, c, n))
+            if v < 0:
+                v = 0
+            final[c] = v
+            if old[c] > 0 and v == 0:
+                cleaned += 1
+        return cleaned
+
+    @deco
+    def timespan(old, timestamps, cells, steps, stamps, last, ts_new,
+                 final, start_steps, end_steps, max_value, n):
+        # Sequential form of the segment reconstruction: walk the
+        # touches in arrival order; a touch finds its cell empty iff
+        # the decrements since the previous touch (or since the batch
+        # started) cover the value held then — exactly then it resets
+        # the first-writer timestamp to its own stamp.
+        for i in range(cells.shape[0]):
+            c = cells[i]
+            s = steps[i]
+            prev = last[c]
+            if prev < 0:
+                decs = hits(s, c, n) - hits(start_steps, c, n)
+                if decs >= old[c]:
+                    ts_new[c] = stamps[i]
+                else:
+                    ts_new[c] = timestamps[c]
+            else:
+                decs = hits(s, c, n) - hits(prev, c, n)
+                if decs >= max_value:
+                    ts_new[c] = stamps[i]
+            last[c] = s
+        cleaned = 0
+        for c in range(n):
+            if last[c] >= 0:
+                v = max_value - (hits(end_steps, c, n) - hits(last[c], c, n))
+                if v < 0:
+                    v = 0
+                if v == 0:
+                    timestamps[c] = 0.0
+                else:
+                    timestamps[c] = ts_new[c]
+            else:
+                v = old[c] - (hits(end_steps, c, n) - hits(start_steps, c, n))
+                if v < 0:
+                    v = 0
+                if v == 0:
+                    timestamps[c] = 0.0
+            final[c] = v
+            if old[c] > 0 and v == 0:
+                cleaned += 1
+        return cleaned
+
+    @deco
+    def countmin(old, ctr, cells, steps, last, final, start_steps,
+                 end_steps, max_value, counter_max, n):
+        # Same empty-at-touch recurrence as `timespan`; a reset restarts
+        # the count at 1 (this touch), otherwise the touch increments.
+        # Per-touch clamping at counter_max equals the numpy backend's
+        # end-clamp because the count only grows within a batch.
+        for i in range(cells.shape[0]):
+            c = cells[i]
+            s = steps[i]
+            prev = last[c]
+            if prev < 0:
+                decs = hits(s, c, n) - hits(start_steps, c, n)
+                held = old[c]
+            else:
+                decs = hits(s, c, n) - hits(prev, c, n)
+                held = max_value
+            if decs >= held:
+                ctr[c] = 1
+            else:
+                ctr[c] = ctr[c] + 1
+            if ctr[c] > counter_max:
+                ctr[c] = counter_max
+            last[c] = s
+        cleaned = 0
+        for c in range(n):
+            if last[c] >= 0:
+                v = max_value - (hits(end_steps, c, n) - hits(last[c], c, n))
+            else:
+                v = old[c] - (hits(end_steps, c, n) - hits(start_steps, c, n))
+            if v < 0:
+                v = 0
+            if v == 0:
+                ctr[c] = 0
+            final[c] = v
+            if old[c] > 0 and v == 0:
+                cleaned += 1
+        return cleaned
+
+    return {
+        "hits": hits,
+        "decay": decay,
+        "decrange": decrange,
+        "touch": touch,
+        "timespan": timespan,
+        "countmin": countmin,
+    }
+
+
+class LoopKernelBackend(NumpyKernelBackend):
+    """Loop-kernel backend: numba-style kernels, jitted or pure Python.
+
+    With ``jit=None`` (default) this is the dependency-free *python*
+    backend — same kernel algorithms, interpreter speed — used for
+    differential testing on hosts without numba. The numba backend
+    subclasses this with ``jit=numba.njit``.
+    """
+
+    name = "python"
+    compiled = False
+
+    def __init__(self, jit=None):
+        self._k = build_kernels(jit)
+
+    # -- vector sweep primitives --------------------------------------
+
+    def decay_all(self, values: np.ndarray, rounds: int) -> np.ndarray:
+        work = values.astype(np.int64)
+        expired = np.empty(work.shape[0], dtype=np.int64)
+        count = self._k["decay"](work, rounds, expired)
+        values[:] = work.astype(values.dtype)
+        return expired[:count]
+
+    def decrement_range(self, values: np.ndarray, a: int, b: int,
+                        ) -> np.ndarray:
+        work = values[a:b].astype(np.int64)
+        expired = np.empty(work.shape[0], dtype=np.int64)
+        count = self._k["decrange"](work, 0, work.shape[0], expired)
+        values[a:b] = work.astype(values.dtype)
+        if count:
+            return expired[:count] + a
+        return expired[:count]
+
+    # -- fused batch finishers ----------------------------------------
+
+    def fuse_touch(self, clock, cells: np.ndarray, steps: np.ndarray,
+                   end_steps: int) -> int:
+        n = clock.n
+        old = clock.values.astype(np.int64)
+        last = np.full(n, -1, dtype=np.int64)
+        final = np.zeros(n, dtype=np.int64)
+        cleaned = self._k["touch"](
+            old, np.ascontiguousarray(cells, dtype=np.int64),
+            np.ascontiguousarray(steps, dtype=np.int64), last, final,
+            clock.steps_done, end_steps, clock.max_value, n,
+        )
+        clock.load_values(final)
+        return int(cleaned) if _obs.ENABLED else 0
+
+    def fuse_timespan(self, clock, timestamps: np.ndarray,
+                      cells: np.ndarray, steps: np.ndarray,
+                      stamps: np.ndarray, end_steps: int) -> int:
+        n = clock.n
+        old = clock.values.astype(np.int64)
+        last = np.full(n, -1, dtype=np.int64)
+        ts_new = np.zeros(n, dtype=np.float64)
+        final = np.zeros(n, dtype=np.int64)
+        cleaned = self._k["timespan"](
+            old, timestamps, np.ascontiguousarray(cells, dtype=np.int64),
+            np.ascontiguousarray(steps, dtype=np.int64),
+            np.ascontiguousarray(stamps, dtype=np.float64), last, ts_new,
+            final, clock.steps_done, end_steps, clock.max_value, n,
+        )
+        clock.load_values(final)
+        return int(cleaned) if _obs.ENABLED else 0
+
+    def fuse_countmin(self, clock, counters: np.ndarray, counter_max: int,
+                      cells: np.ndarray, steps: np.ndarray,
+                      end_steps: int) -> int:
+        n = clock.n
+        old = clock.values.astype(np.int64)
+        ctr = counters.astype(np.int64)
+        last = np.full(n, -1, dtype=np.int64)
+        final = np.zeros(n, dtype=np.int64)
+        cleaned = self._k["countmin"](
+            old, ctr, np.ascontiguousarray(cells, dtype=np.int64),
+            np.ascontiguousarray(steps, dtype=np.int64), last, final,
+            clock.steps_done, end_steps, clock.max_value, counter_max, n,
+        )
+        counters[:] = ctr.astype(counters.dtype)
+        clock.load_values(final)
+        return int(cleaned) if _obs.ENABLED else 0

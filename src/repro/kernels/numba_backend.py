@@ -1,0 +1,48 @@
+"""The numba-JIT kernel backend (optional dependency, import-gated).
+
+When numba is importable, :class:`NumbaKernelBackend` compiles the loop
+kernels of :mod:`repro.kernels.loops` with ``numba.njit`` (nopython
+mode, ``nogil=True`` — the kernels run over raw int64/float64 arrays
+and release the GIL while sweeping). The kernels themselves are shared
+with the pure-Python loop backend, so the JIT adds speed, never
+semantics; compilation is lazy (first call per dtype signature), which
+keeps import cheap.
+
+When numba is absent, :data:`NUMBA_AVAILABLE` is False and the backend
+selector in :mod:`repro.kernels` falls back to the numpy reference
+backend — importing this module never raises.
+"""
+
+from __future__ import annotations
+
+try:
+    import numba  # type: ignore[import-not-found]
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised via the fallback test
+    numba = None
+    NUMBA_AVAILABLE = False
+
+from .loops import LoopKernelBackend
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaKernelBackend"]
+
+
+class NumbaKernelBackend(LoopKernelBackend):
+    """Loop kernels compiled to machine code with ``numba.njit``.
+
+    Raises :class:`ImportError` if numba is not installed — callers go
+    through :func:`repro.kernels.resolve_backend`, which degrades to
+    the numpy backend (with a single warning) instead.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self):
+        if not NUMBA_AVAILABLE:
+            raise ImportError(
+                "numba is not installed; use the 'numpy' kernel backend "
+                "or `pip install numba`"
+            )
+        super().__init__(jit=numba.njit(cache=False, nogil=True))

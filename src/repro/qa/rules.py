@@ -40,6 +40,16 @@ SK106
     silently — dashboards point at a series nobody emits any more.
     Test modules (any path with a ``tests`` segment) are exempt, as
     are intentional literals marked ``# sketchlint: metric-name-ok``.
+SK107
+    Hot-path numpy kernel math lives only under ``repro/kernels/``.
+    Defining one of the primitive kernels (``sweep_hits``,
+    ``snapshot_values``, ``decay_all``, ``decrement_range``,
+    ``fuse_*``) — or calling one as a bare function instead of
+    dispatching through a backend (``clock.kernels.fuse_touch(...)``)
+    — inside ``core/``/``engine/``/``shard/``/``hashing/`` forks the
+    kernel seam: the copy stops being swappable for the compiled
+    backend and silently drifts from the reference. Deliberate
+    exceptions carry ``# sketchlint: kernel-ok``.
 """
 
 from __future__ import annotations
@@ -52,7 +62,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 __all__ = ["Finding", "ModuleScope", "RULE_IDS", "SUPPRESSION_TOKENS",
            "run_rules", "scope_for_path"]
 
-RULE_IDS = ("SK101", "SK102", "SK103", "SK104", "SK105", "SK106")
+RULE_IDS = ("SK101", "SK102", "SK103", "SK104", "SK105", "SK106", "SK107")
 
 #: Suppression comment tokens (``# sketchlint: <token>``) per rule.
 SUPPRESSION_TOKENS: Dict[str, str] = {
@@ -62,6 +72,7 @@ SUPPRESSION_TOKENS: Dict[str, str] = {
     "lockfree-ok": "SK104",
     "pair-ok": "SK105",
     "metric-name-ok": "SK106",
+    "kernel-ok": "SK107",
 }
 
 
@@ -82,11 +93,13 @@ class Finding:
 class ModuleScope:
     """Which rule families apply to a module, derived from its path."""
 
-    hot_path: bool      # SK101: core/, engine/, hashing/
-    dtype_scope: bool   # SK102: core/, engine/
+    hot_path: bool      # SK101: core/, engine/, hashing/, kernels/
+    dtype_scope: bool   # SK102: core/, engine/, kernels/
     clock_scope: bool   # SK103: core/, engine/, shard/, serialize.py
-                        #        — minus clockarray.py
+                        #        — minus clockarray.py and kernels/
     metric_scope: bool  # SK106: everywhere except tests/
+    kernel_scope: bool  # SK107: core/, engine/, shard/, hashing/
+                        #        — minus kernels/ itself
 
 
 def scope_for_path(path: str) -> ModuleScope:
@@ -99,14 +112,21 @@ def scope_for_path(path: str) -> ModuleScope:
     parts = PurePosixPath(str(path).replace("\\", "/")).parts
     segments = set(parts)
     basename = parts[-1] if parts else ""
-    hot = bool(segments & {"core", "engine", "hashing"})
-    dtype_scope = bool(segments & {"core", "engine"})
-    clock_scope = (dtype_scope or "shard" in segments
+    in_kernels = "kernels" in segments
+    hot = bool(segments & {"core", "engine", "hashing", "kernels"})
+    dtype_scope = bool(segments & {"core", "engine", "kernels"})
+    # The kernel layer is, like clockarray.py, a legitimate home of
+    # cell mutation — SK103 polices everyone else.
+    clock_scope = (bool(segments & {"core", "engine"})
+                   or "shard" in segments
                    or basename == "serialize.py") \
-        and basename != "clockarray.py"
+        and basename != "clockarray.py" and not in_kernels
     metric_scope = "tests" not in segments
+    kernel_scope = bool(segments & {"core", "engine", "shard", "hashing"}) \
+        and not in_kernels
     return ModuleScope(hot_path=hot, dtype_scope=dtype_scope,
-                       clock_scope=clock_scope, metric_scope=metric_scope)
+                       clock_scope=clock_scope, metric_scope=metric_scope,
+                       kernel_scope=kernel_scope)
 
 
 # ----------------------------------------------------------------------
@@ -464,9 +484,50 @@ def _rule_sk106(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding
     return findings
 
 
+# ----------------------------------------------------------------------
+# SK107 — kernel math may live only under repro/kernels/
+# ----------------------------------------------------------------------
+
+#: The primitive-kernel names owned by the kernel-backend layer
+#: (:mod:`repro.kernels`). Defining or bare-calling one of these in a
+#: hot-path module bypasses the backend seam.
+_KERNEL_PRIMITIVES: Set[str] = {
+    "sweep_hits", "snapshot_values", "decay_all", "decrement_range",
+    "fuse_touch", "fuse_timespan", "fuse_countmin",
+}
+
+
+def _rule_sk107(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding]:
+    if not scope.kernel_scope:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _KERNEL_PRIMITIVES):
+            findings.append(Finding(
+                "SK107", path, node.lineno,
+                f"kernel primitive `{node.name}` defined outside "
+                "repro/kernels/; hot-path kernel math lives in the "
+                "kernel-backend layer so every backend stays swappable "
+                "(mark a deliberate exception with "
+                "`# sketchlint: kernel-ok`)",
+            ))
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _KERNEL_PRIMITIVES):
+            findings.append(Finding(
+                "SK107", path, node.func.lineno,
+                f"bare call to kernel primitive `{node.func.id}`; dispatch "
+                "through a backend (`clock.kernels." + node.func.id +
+                "(...)` or `resolve_backend(...)`) so compiled backends "
+                "apply (mark a deliberate exception with "
+                "`# sketchlint: kernel-ok`)",
+            ))
+    return findings
+
+
 _RULES: Tuple[Callable[[ast.Module, str, ModuleScope], List[Finding]], ...] = (
     _rule_sk101, _rule_sk102, _rule_sk103, _rule_sk104, _rule_sk105,
-    _rule_sk106,
+    _rule_sk106, _rule_sk107,
 )
 
 

@@ -5,6 +5,12 @@ merge extension ships sketches between workers. This module serialises
 any of the four Clock-sketch structures to (and from) an ``.npz``
 payload: configuration plus the raw cell arrays and the cleaner's exact
 position, so a restored sketch continues bit-for-bit where it stopped.
+
+Payloads are backend-agnostic: kernel backends (:mod:`repro.kernels`)
+are process configuration, not state, so they are never written to a
+payload. A restored sketch resolves the *restoring* process's default
+backend — a sketch saved under numba loads fine on a host without
+numba, and vice versa, with bit-identical cell state either way.
 """
 
 from __future__ import annotations

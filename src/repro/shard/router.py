@@ -35,7 +35,6 @@ import numpy as np
 
 from ..core.base import ClockSketchBase
 from ..core import ClockBitmap, ClockBloomFilter, ClockCountMin, ClockTimeSpanSketch
-from ..engine import scatter_by_shard
 from ..errors import ConfigurationError
 from ..hashing import ShardSelector
 from ..obs import runtime as _obs
@@ -154,6 +153,10 @@ class ShardedSketch(ClockSketchBase):
         self.shards = shards
         self.seed = prototype.seed
         self.selector = ShardSelector(shards, seed=self.seed)
+        #: The facade-side kernel backend driving the scatter fan-out —
+        #: the prototype's resolved backend, so one spec configures both
+        #: the replicas' sweeps and the router's batch splitting.
+        self.kernels = prototype.clock.kernels
         if router == "serial":
             self.router = SerialShardRouter(replicas)
         elif router == "process":
@@ -196,7 +199,7 @@ class ShardedSketch(ClockSketchBase):
         if not count:
             return
         shard_ids = self.selector.shards_of(items)
-        for shard, sub_items, sub_times in scatter_by_shard(
+        for shard, sub_items, sub_times in self.kernels.scatter_by_shard(
                 items, times_arr, shard_ids):
             self.router.ingest(shard, sub_items, sub_times)
             if _obs.ENABLED:

@@ -144,6 +144,14 @@ def _shard_worker(shard: int, payload: bytes, shm_name: str,
     shm = shared_memory.SharedMemory(name=shm_name)
     sketch = loads_sketch(payload)
     sketch._accepts_global_times = True
+    # Resolve the kernel backend *in this process*: under spawn the
+    # worker re-reads REPRO_KERNEL (and re-checks numba availability)
+    # rather than inheriting whatever the parent pickled; every backend
+    # writes cells through views, so shared-memory binding works under
+    # numpy and numba alike.
+    from ..kernels import resolve_backend
+
+    sketch.clock.kernels = resolve_backend()
     _bind_shared(sketch, shm.buf, layout)
     _write_control(shm.buf, sketch)
     running = True

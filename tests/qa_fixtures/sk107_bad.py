@@ -1,0 +1,15 @@
+"""SK107 bad: kernel math defined / bare-called outside repro/kernels/.
+
+Linted by ``tests/test_qa_lint.py`` under a virtual hot-path module
+path; the two primitive definitions and the two bare calls below must
+all be flagged (4 findings).
+"""
+
+
+def sweep_hits(total_steps, cells, n):
+    return (total_steps - 1 - cells) // n + 1
+
+
+def snapshot_values(set_steps, cells, n, max_value, query_steps):
+    decs = sweep_hits(query_steps, cells, n) - sweep_hits(set_steps, cells, n)
+    return max_value - decs

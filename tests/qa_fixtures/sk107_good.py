@@ -1,0 +1,18 @@
+"""SK107 good: kernel math dispatched through the backend seam."""
+
+
+def live_values(clock, set_steps, cells, query_steps):
+    # Attribute dispatch through the clock's resolved backend is the
+    # sanctioned call shape — compiled backends apply transparently.
+    return clock.kernels.snapshot_values(
+        set_steps, cells, clock.n, clock.max_value, query_steps,
+    )
+
+
+def hits_here(total_steps, cells, n):  # sketchlint: kernel-ok
+    # A documented deliberate copy (e.g. a docstring example being
+    # tested) carries the suppression token.
+    def sweep_hits(m, c, width):
+        return (m - 1 - c) // width + 1
+
+    return sweep_hits(total_steps, cells, n)

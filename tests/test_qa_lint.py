@@ -27,6 +27,7 @@ CASES = {
     "SK104": ("sk104_bad.py", 2, "sk104_good.py"),
     "SK105": ("sk105_bad.py", 2, "sk105_good.py"),
     "SK106": ("sk106_bad.py", 4, "sk106_good.py"),
+    "SK107": ("sk107_bad.py", 4, "sk107_good.py"),
 }
 
 
@@ -108,6 +109,23 @@ class TestScoping:
     def test_sk103_shard_good_fixture_is_silent(self):
         shard_path = "src/repro/shard/fixture.py"
         assert lint_source(load("sk103_shard_good.py"), shard_path) == []
+
+    def test_kernels_package_is_exempt_from_sk107(self):
+        # The kernel layer is where the primitives are *supposed* to
+        # live — defining them there must not self-flag, and the layer
+        # also takes over clockarray.py's cell-mutation licence.
+        kernel_path = "src/repro/kernels/numpy_backend.py"
+        scope = scope_for_path(kernel_path)
+        assert not scope.kernel_scope
+        assert not scope.clock_scope
+        assert scope.hot_path and scope.dtype_scope
+        assert lint_source(load("sk107_bad.py"), kernel_path) == []
+
+    def test_sk107_covers_shard_and_hashing(self):
+        for path in ("src/repro/shard/fixture.py",
+                     "src/repro/hashing/fixture.py"):
+            findings = lint_source(load("sk107_bad.py"), path)
+            assert {f.rule for f in findings} == {"SK107"}, path
 
 
 class TestSuppressions:

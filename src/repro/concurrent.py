@@ -36,6 +36,14 @@ from .obs import runtime as _obs
 
 __all__ = ["ThreadSafeSketch", "BackgroundCleaner"]
 
+#: Immutable configuration safe to forward from the wrapper without the
+#: lock. Everything else must go through a locked method (or the caller
+#: reaches for ``.sketch`` explicitly, accepting the race).
+_FORWARDED_CONFIG = frozenset({
+    "window", "n", "k", "s", "seed", "width", "depth", "conservative",
+    "counter_bits", "counter_max", "max_value", "memory_bits",
+})
+
 
 class ThreadSafeSketch:
     """A lock-guarded facade over any Clock-sketch structure.
@@ -102,8 +110,10 @@ class ThreadSafeSketch:
             raise ConfigurationError(
                 f"chunk_size must be positive, got {chunk_size}")
         total = len(items)
-        # Configuration read, not mutable state — see __getattr__.
-        backend = self.sketch.clock.kernels  # sketchlint: lockfree-ok
+        # Pin the kernel backend under the lock: `clock.kernels` resolves
+        # lazily and a concurrent set_default_backend() may be publishing
+        # the resolution exactly as we read it.
+        backend = self._guarded(lambda: self.sketch.clock.kernels)
         with use_backend(backend):
             for pos in range(0, total, chunk_size):
                 end = min(pos + chunk_size, total)
@@ -144,11 +154,17 @@ class ThreadSafeSketch:
         self._guarded(_advance)
 
     def __getattr__(self, name: str) -> Any:
-        # Deliberately lock-free: this forwards reads of immutable
-        # configuration (window, n, s, memory_bits, ...). Anything that
-        # mutates or reads mutable state has an explicit locked method
-        # above.
-        return getattr(self.sketch, name)  # sketchlint: lockfree-ok
+        # Deliberately lock-free, but only for the closed set of
+        # immutable configuration reads in _FORWARDED_CONFIG. Anything
+        # that mutates or reads mutable state has an explicit locked
+        # method above; everything else is an AttributeError so mutable
+        # internals (clock, engine, deriver) cannot leak out unlocked.
+        if name not in _FORWARDED_CONFIG:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute "
+                f"{name!r}; mutable sketch state is only reachable "
+                f"through the locked methods (or `.sketch` explicitly)")
+        return getattr(self.sketch, name)
 
 
 class BackgroundCleaner:

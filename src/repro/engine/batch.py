@@ -168,6 +168,7 @@ class BatchEngine:
                 index_matrix.ravel(),
                 np.repeat(steps, index_matrix.shape[1]),
                 end_steps,
+                count_cleaned=_obs.ENABLED,
             )
             self._finish_fused(times_arr, end_steps, cleaned)
             path = "fused"
@@ -223,6 +224,7 @@ class BatchEngine:
                 np.repeat(steps, k),
                 np.repeat(times_arr, k),
                 end_steps,
+                count_cleaned=_obs.ENABLED,
             )
             self._finish_fused(times_arr, end_steps, cleaned)
             path = "fused"
@@ -284,6 +286,7 @@ class BatchEngine:
                 flat_matrix.ravel(),
                 np.repeat(steps, flat_matrix.shape[1]),
                 end_steps,
+                count_cleaned=_obs.ENABLED,
             )
             self._finish_fused(times_arr, end_steps, cleaned)
             path = "fused"

@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 import warnings
 from contextlib import contextmanager
-from typing import Protocol, runtime_checkable
+from typing import Any, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -94,11 +94,13 @@ class KernelBackend(Protocol):
     #: True when the kernels run as compiled machine code.
     compiled: bool
 
-    def sweep_hits(self, total_steps, cells, n: int):
+    def sweep_hits(self, total_steps: int | np.ndarray,
+                   cells: int | np.ndarray, n: int) -> np.ndarray:
         """Closed-form decrement count per cell over ``[1, total_steps]``."""
         ...
 
-    def snapshot_values(self, set_steps, cells, n: int, max_value: int,
+    def snapshot_values(self, set_steps: np.ndarray, cells: np.ndarray,
+                        n: int, max_value: int,
                         query_steps: int) -> np.ndarray:
         """Closed-form clock value of each cell at query time."""
         ...
@@ -112,29 +114,38 @@ class KernelBackend(Protocol):
         """One sweep pass over ``a..b-1``; returns absolute expiries."""
         ...
 
-    def fuse_touch(self, clock, cells: np.ndarray, steps: np.ndarray,
-                   end_steps: int) -> int:
-        """Fused batch of plain clock touches; returns cells cleaned."""
+    def fuse_touch(self, clock: Any, cells: np.ndarray, steps: np.ndarray,
+                   end_steps: int, count_cleaned: bool = False) -> int:
+        """Fused batch of plain clock touches; returns cells cleaned.
+
+        ``count_cleaned`` asks for the (slightly more expensive)
+        cleaned-cell count; with it off the method returns 0. Kernels
+        never consult observability state themselves — the engine
+        passes ``count_cleaned=_obs.ENABLED`` so backends stay pure.
+        """
         ...
 
-    def fuse_timespan(self, clock, timestamps: np.ndarray,
+    def fuse_timespan(self, clock: Any, timestamps: np.ndarray,
                       cells: np.ndarray, steps: np.ndarray,
-                      stamps: np.ndarray, end_steps: int) -> int:
+                      stamps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         """Fused batch of touches plus first-writer timestamps."""
         ...
 
-    def fuse_countmin(self, clock, counters: np.ndarray, counter_max: int,
-                      cells: np.ndarray, steps: np.ndarray,
-                      end_steps: int) -> int:
+    def fuse_countmin(self, clock: Any, counters: np.ndarray,
+                      counter_max: int, cells: np.ndarray,
+                      steps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         """Fused batch of saturating counter bumps plus touches."""
         ...
 
-    def take_subset(self, items, mask: np.ndarray):
+    def take_subset(self, items: Any, mask: np.ndarray) -> Any:
         """Masked, order-preserving subset of a stream batch."""
         ...
 
-    def scatter_by_shard(self, items, times_arr: np.ndarray,
-                         shard_ids: np.ndarray):
+    def scatter_by_shard(self, items: Any, times_arr: np.ndarray,
+                         shard_ids: np.ndarray,
+                         ) -> list[tuple[int, Any, np.ndarray]]:
         """Split one batch into per-shard ``(shard, items, times)``."""
         ...
 
@@ -146,7 +157,7 @@ class KernelBackend(Protocol):
 #: Backend singletons, built on demand (numba compilation state is
 #: per-function-signature inside the backend, so sharing one instance
 #: process-wide maximises warm-up reuse).
-_INSTANCES: dict = {}
+_INSTANCES: dict[str, KernelBackend] = {}
 
 #: The resolved process default; None until first resolution.
 _DEFAULT: "KernelBackend | None" = None
@@ -198,7 +209,7 @@ def _make(name: str) -> KernelBackend:
     )
 
 
-def resolve_backend(spec=None) -> KernelBackend:
+def resolve_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
     """Resolve a backend spec to a live backend object.
 
     ``spec`` may be None (the process default, itself resolved from
@@ -229,7 +240,7 @@ def get_default_backend() -> KernelBackend:
     return _DEFAULT
 
 
-def set_default_backend(spec) -> KernelBackend:
+def set_default_backend(spec: str | KernelBackend) -> KernelBackend:
     """Set the process-default backend; returns the backend installed.
 
     Affects every subsequently constructed ``ClockArray`` (and the
@@ -245,7 +256,7 @@ def set_default_backend(spec) -> KernelBackend:
 
 
 @contextmanager
-def use_backend(spec):
+def use_backend(spec: str | KernelBackend) -> Iterator[KernelBackend]:
     """``with use_backend("numpy"):`` — scoped default-backend override.
 
     Process-global (not thread-local): intended for benchmarks, tests,
@@ -261,7 +272,7 @@ def use_backend(spec):
         _publish_if_enabled()
 
 
-def kernel_info() -> dict:
+def kernel_info() -> dict[str, Any]:
     """The active default backend, as a JSON-friendly dict.
 
     Recorded in benchmark payloads so BENCH trajectories name the

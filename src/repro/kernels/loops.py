@@ -27,15 +27,20 @@ the sequential form of the segment reconstruction in
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 import numpy as np
 
-from ..obs import runtime as _obs
 from .numpy_backend import NumpyKernelBackend
 
 __all__ = ["LoopKernelBackend", "build_kernels"]
 
+#: One loop kernel (possibly jitted) — raw arrays and scalars in, a
+#: scalar count out; signatures live on the functions themselves.
+_Kernel = Callable[..., Any]
 
-def build_kernels(jit=None) -> dict:
+
+def build_kernels(jit: "_Kernel | None" = None) -> dict[str, _Kernel]:
     """Build the loop kernels, optionally through a ``jit`` decorator.
 
     Returns a dict of kernels keyed ``decay`` / ``decrange`` /
@@ -47,14 +52,14 @@ def build_kernels(jit=None) -> dict:
     deco = jit if jit is not None else (lambda f: f)
 
     @deco
-    def hits(m, c, n):
+    def hits(m: int, c: int, n: int) -> int:
         # Scalar form of sweep_hits: steps in [1, m] that hit cell c.
         if m >= c + 1:
             return (m - 1 - c) // n + 1
         return 0
 
     @deco
-    def decay(work, rounds, expired):
+    def decay(work: np.ndarray, rounds: int, expired: np.ndarray) -> int:
         # Every cell loses `rounds` (clamped at zero); record expiries.
         count = 0
         for c in range(work.shape[0]):
@@ -70,7 +75,8 @@ def build_kernels(jit=None) -> dict:
         return count
 
     @deco
-    def decrange(work, a, b, expired):
+    def decrange(work: np.ndarray, a: int, b: int,
+                 expired: np.ndarray) -> int:
         # One sweep pass over cells a..b-1; record absolute expiries.
         count = 0
         for c in range(a, b):
@@ -83,8 +89,9 @@ def build_kernels(jit=None) -> dict:
         return count
 
     @deco
-    def touch(old, cells, steps, last, final, start_steps, end_steps,
-              max_value, n):
+    def touch(old: np.ndarray, cells: np.ndarray, steps: np.ndarray,
+              last: np.ndarray, final: np.ndarray, start_steps: int,
+              end_steps: int, max_value: int, n: int) -> int:
         # Pass 1: per-cell last touch step (`last` arrives filled -1).
         for i in range(cells.shape[0]):
             c = cells[i]
@@ -108,8 +115,11 @@ def build_kernels(jit=None) -> dict:
         return cleaned
 
     @deco
-    def timespan(old, timestamps, cells, steps, stamps, last, ts_new,
-                 final, start_steps, end_steps, max_value, n):
+    def timespan(old: np.ndarray, timestamps: np.ndarray,
+                 cells: np.ndarray, steps: np.ndarray, stamps: np.ndarray,
+                 last: np.ndarray, ts_new: np.ndarray, final: np.ndarray,
+                 start_steps: int, end_steps: int, max_value: int,
+                 n: int) -> int:
         # Sequential form of the segment reconstruction: walk the
         # touches in arrival order; a touch finds its cell empty iff
         # the decrements since the previous touch (or since the batch
@@ -152,8 +162,10 @@ def build_kernels(jit=None) -> dict:
         return cleaned
 
     @deco
-    def countmin(old, ctr, cells, steps, last, final, start_steps,
-                 end_steps, max_value, counter_max, n):
+    def countmin(old: np.ndarray, ctr: np.ndarray, cells: np.ndarray,
+                 steps: np.ndarray, last: np.ndarray, final: np.ndarray,
+                 start_steps: int, end_steps: int, max_value: int,
+                 counter_max: int, n: int) -> int:
         # Same empty-at-touch recurrence as `timespan`; a reset restarts
         # the count at 1 (this touch), otherwise the touch increments.
         # Per-touch clamping at counter_max equals the numpy backend's
@@ -212,7 +224,7 @@ class LoopKernelBackend(NumpyKernelBackend):
     name = "python"
     compiled = False
 
-    def __init__(self, jit=None):
+    def __init__(self, jit: "_Kernel | None" = None) -> None:
         self._k = build_kernels(jit)
 
     # -- vector sweep primitives --------------------------------------
@@ -236,8 +248,8 @@ class LoopKernelBackend(NumpyKernelBackend):
 
     # -- fused batch finishers ----------------------------------------
 
-    def fuse_touch(self, clock, cells: np.ndarray, steps: np.ndarray,
-                   end_steps: int) -> int:
+    def fuse_touch(self, clock: Any, cells: np.ndarray, steps: np.ndarray,
+                   end_steps: int, count_cleaned: bool = False) -> int:
         n = clock.n
         old = clock.values.astype(np.int64)
         last = np.full(n, -1, dtype=np.int64)
@@ -248,11 +260,12 @@ class LoopKernelBackend(NumpyKernelBackend):
             clock.steps_done, end_steps, clock.max_value, n,
         )
         clock.load_values(final)
-        return int(cleaned) if _obs.ENABLED else 0
+        return int(cleaned) if count_cleaned else 0
 
-    def fuse_timespan(self, clock, timestamps: np.ndarray,
+    def fuse_timespan(self, clock: Any, timestamps: np.ndarray,
                       cells: np.ndarray, steps: np.ndarray,
-                      stamps: np.ndarray, end_steps: int) -> int:
+                      stamps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         n = clock.n
         old = clock.values.astype(np.int64)
         last = np.full(n, -1, dtype=np.int64)
@@ -265,11 +278,12 @@ class LoopKernelBackend(NumpyKernelBackend):
             final, clock.steps_done, end_steps, clock.max_value, n,
         )
         clock.load_values(final)
-        return int(cleaned) if _obs.ENABLED else 0
+        return int(cleaned) if count_cleaned else 0
 
-    def fuse_countmin(self, clock, counters: np.ndarray, counter_max: int,
-                      cells: np.ndarray, steps: np.ndarray,
-                      end_steps: int) -> int:
+    def fuse_countmin(self, clock: Any, counters: np.ndarray,
+                      counter_max: int, cells: np.ndarray,
+                      steps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         n = clock.n
         old = clock.values.astype(np.int64)
         ctr = counters.astype(np.int64)
@@ -282,4 +296,4 @@ class LoopKernelBackend(NumpyKernelBackend):
         )
         counters[:] = ctr.astype(counters.dtype)
         clock.load_values(final)
-        return int(cleaned) if _obs.ENABLED else 0
+        return int(cleaned) if count_cleaned else 0

@@ -39,7 +39,7 @@ class NumbaKernelBackend(LoopKernelBackend):
     name = "numba"
     compiled = True
 
-    def __init__(self):
+    def __init__(self) -> None:
         if not NUMBA_AVAILABLE:
             raise ImportError(
                 "numba is not installed; use the 'numpy' kernel backend "

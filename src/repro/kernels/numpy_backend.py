@@ -36,9 +36,9 @@ which is exactly what the callbacks would have done.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
-from ..obs import runtime as _obs
+import numpy as np
 
 __all__ = [
     "NumpyKernelBackend",
@@ -56,7 +56,8 @@ __all__ = [
 # Closed-form sweep arithmetic (from repro.core.clockarray)
 # ----------------------------------------------------------------------
 
-def sweep_hits(total_steps, cells, n: int):
+def sweep_hits(total_steps: int | np.ndarray, cells: int | np.ndarray,
+               n: int) -> np.ndarray:
     """How many times each cell was decremented within the first steps.
 
     With sweep steps numbered ``1, 2, ...`` (step ``j`` decrements cell
@@ -92,8 +93,8 @@ def snapshot_values(
 # Fused batch finishers (from repro.engine.fused)
 # ----------------------------------------------------------------------
 
-def _cleaned_prelude(clock, touched: np.ndarray,
-                     final: np.ndarray) -> "int | None":
+def _cleaned_prelude(clock: Any, touched: np.ndarray, final: np.ndarray,
+                     count_cleaned: bool) -> "int | None":
     """First half of the cleaned-cell count; call *before* load_values.
 
     ``cleaned`` (cells live before the batch, zero after) satisfies
@@ -104,25 +105,27 @@ def _cleaned_prelude(clock, touched: np.ndarray,
     touched cells, so it needs just the per-touched-cell arrays.
     Counting ``nonzero`` on ``clock.values`` (the small cell dtype, not
     the int64 working copies) keeps this to a fraction of a full
-    boolean-mask pass. Only runs while observability is on — with it
-    off the fused paths report 0 cleaned and the clock's
+    boolean-mask pass. Only runs when the caller asks for the count
+    (the engine passes ``count_cleaned=_obs.ENABLED``) — otherwise the
+    fused paths report 0 cleaned and the clock's
     ``cells_cleaned_total`` stays a sweep-path-only statistic.
     """
-    if not _obs.ENABLED:
+    if not count_cleaned:
         return None
     nz_before = int(np.count_nonzero(clock.values))
     born = int(np.count_nonzero(final[clock.values.take(touched) == 0]))
     return nz_before + born
 
 
-def _cleaned_result(clock, prelude: "int | None") -> int:
+def _cleaned_result(clock: Any, prelude: "int | None") -> int:
     """Second half of the cleaned-cell count; call *after* load_values."""
     if prelude is None:
         return 0
     return prelude - int(np.count_nonzero(clock.values))
 
 
-def _decayed_values(clock, end_steps: int):
+def _decayed_values(clock: Any,
+                    end_steps: int) -> tuple[np.ndarray, np.ndarray]:
     """All-cell values after sweeping to ``end_steps``, before touches.
 
     Returns ``(old, decayed)`` as int64 arrays: the pre-batch values and
@@ -153,8 +156,8 @@ class _TouchSegments:
     ``final_values`` each touched cell's clock value at ``end_steps``.
     """
 
-    def __init__(self, clock, cells: np.ndarray, steps: np.ndarray,
-                 old_values: np.ndarray, end_steps: int):
+    def __init__(self, clock: Any, cells: np.ndarray, steps: np.ndarray,
+                 old_values: np.ndarray, end_steps: int) -> None:
         n = clock.n
         order = np.argsort(cells, kind="stable")
         sc = cells[order]
@@ -189,15 +192,17 @@ class _TouchSegments:
         )
 
 
-def fuse_touch(clock, cells: np.ndarray, steps: np.ndarray,
-               end_steps: int) -> int:
+def fuse_touch(clock: Any, cells: np.ndarray, steps: np.ndarray,
+               end_steps: int, count_cleaned: bool = False) -> int:
     """Fused batch of plain clock touches (BF+clock / BM+clock).
 
     ``cells``/``steps`` are flat aligned arrays in arrival order with
     non-decreasing ``steps``. Only the clock values are rewritten; the
-    caller commits the cleaner position afterwards. Returns the number
-    of cells the batch left expired (live before, zero after) so the
-    caller can keep the clock's sweep telemetry consistent.
+    caller commits the cleaner position afterwards. With
+    ``count_cleaned`` true, returns the number of cells the batch left
+    expired (live before, zero after) so the caller can keep the
+    clock's sweep telemetry consistent; otherwise returns 0 and skips
+    the extra nonzero passes.
     """
     old, decayed = _decayed_values(clock, end_steps)
     last_set = np.full(clock.n, -1, dtype=np.int64)
@@ -207,14 +212,14 @@ def fuse_touch(clock, cells: np.ndarray, steps: np.ndarray,
         last_set[touched], touched, clock.n, clock.max_value, end_steps
     )
     decayed[touched] = snap
-    prelude = _cleaned_prelude(clock, touched, snap)
+    prelude = _cleaned_prelude(clock, touched, snap, count_cleaned)
     clock.load_values(decayed)
     return _cleaned_result(clock, prelude)
 
 
-def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
+def fuse_timespan(clock: Any, timestamps: np.ndarray, cells: np.ndarray,
                   steps: np.ndarray, stamps: np.ndarray,
-                  end_steps: int) -> int:
+                  end_steps: int, count_cleaned: bool = False) -> int:
     """Fused batch for BF-ts+clock: touches plus first-writer timestamps.
 
     ``stamps`` aligns with ``cells``/``steps`` and carries each touch's
@@ -244,14 +249,15 @@ def fuse_timespan(clock, timestamps: np.ndarray, cells: np.ndarray,
     timestamps[seg_cells] = ts_new
 
     decayed[seg_cells] = segs.final_values
-    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values)
+    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values,
+                               count_cleaned)
     clock.load_values(decayed)
     return _cleaned_result(clock, prelude)
 
 
-def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
+def fuse_countmin(clock: Any, counters: np.ndarray, counter_max: int,
                   cells: np.ndarray, steps: np.ndarray,
-                  end_steps: int) -> int:
+                  end_steps: int, count_cleaned: bool = False) -> int:
     """Fused batch for CM+clock: saturating counter bumps plus touches.
 
     Each touch increments its cell's counter (clamped at
@@ -279,7 +285,8 @@ def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
     counters[seg_cells] = ctr_new.astype(counters.dtype)
 
     decayed[seg_cells] = segs.final_values
-    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values)
+    prelude = _cleaned_prelude(clock, seg_cells, segs.final_values,
+                               count_cleaned)
     clock.load_values(decayed)
     return _cleaned_result(clock, prelude)
 
@@ -288,7 +295,7 @@ def fuse_countmin(clock, counters: np.ndarray, counter_max: int,
 # Shard scatter fan-out (from repro.engine.scatter)
 # ----------------------------------------------------------------------
 
-def take_subset(items, mask: np.ndarray):
+def take_subset(items: Any, mask: np.ndarray) -> Any:
     """Select the masked subset of a stream batch, preserving order.
 
     ``items`` may be a numpy key array (fancy-indexed, stays an array
@@ -300,11 +307,12 @@ def take_subset(items, mask: np.ndarray):
     if not isinstance(items, (list, tuple)):
         items = list(items)
     picked = np.flatnonzero(mask)
-    return [items[i] for i in picked]  # sketchlint: scalar-ok
+    return [items[i] for i in picked]
 
 
-def scatter_by_shard(items, times_arr: np.ndarray, shard_ids: np.ndarray,
-                     ) -> "list[tuple[int, object, np.ndarray]]":
+def scatter_by_shard(items: Any, times_arr: np.ndarray,
+                     shard_ids: np.ndarray,
+                     ) -> "list[tuple[int, Any, np.ndarray]]":
     """Split one batch into per-shard ``(shard, items, times)`` tuples.
 
     ``shard_ids`` aligns with ``items`` (one routing id per item, from
@@ -315,7 +323,7 @@ def scatter_by_shard(items, times_arr: np.ndarray, shard_ids: np.ndarray,
     batch.
     """
     shard_ids = np.asarray(shard_ids, dtype=np.int64)
-    out: "list[tuple[int, object, np.ndarray]]" = []
+    out: "list[tuple[int, Any, np.ndarray]]" = []
     for shard in np.unique(shard_ids):
         mask = shard_ids == shard
         out.append((int(shard), take_subset(items, mask), times_arr[mask]))
@@ -338,11 +346,13 @@ class NumpyKernelBackend:
 
     # -- closed-form sweep arithmetic ---------------------------------
 
-    def sweep_hits(self, total_steps, cells, n: int):
+    def sweep_hits(self, total_steps: int | np.ndarray,
+                   cells: int | np.ndarray, n: int) -> np.ndarray:
         """See :func:`sweep_hits`."""
         return sweep_hits(total_steps, cells, n)
 
-    def snapshot_values(self, set_steps, cells, n: int, max_value: int,
+    def snapshot_values(self, set_steps: np.ndarray, cells: np.ndarray,
+                        n: int, max_value: int,
                         query_steps: int) -> np.ndarray:
         """See :func:`snapshot_values`."""
         return snapshot_values(set_steps, cells, n, max_value, query_steps)
@@ -379,33 +389,36 @@ class NumpyKernelBackend:
 
     # -- fused batch finishers ----------------------------------------
 
-    def fuse_touch(self, clock, cells: np.ndarray, steps: np.ndarray,
-                   end_steps: int) -> int:
+    def fuse_touch(self, clock: Any, cells: np.ndarray, steps: np.ndarray,
+                   end_steps: int, count_cleaned: bool = False) -> int:
         """See :func:`fuse_touch`."""
-        return fuse_touch(clock, cells, steps, end_steps)
+        return fuse_touch(clock, cells, steps, end_steps, count_cleaned)
 
-    def fuse_timespan(self, clock, timestamps: np.ndarray,
+    def fuse_timespan(self, clock: Any, timestamps: np.ndarray,
                       cells: np.ndarray, steps: np.ndarray,
-                      stamps: np.ndarray, end_steps: int) -> int:
+                      stamps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         """See :func:`fuse_timespan`."""
         return fuse_timespan(clock, timestamps, cells, steps, stamps,
-                             end_steps)
+                             end_steps, count_cleaned)
 
-    def fuse_countmin(self, clock, counters: np.ndarray, counter_max: int,
-                      cells: np.ndarray, steps: np.ndarray,
-                      end_steps: int) -> int:
+    def fuse_countmin(self, clock: Any, counters: np.ndarray,
+                      counter_max: int, cells: np.ndarray,
+                      steps: np.ndarray, end_steps: int,
+                      count_cleaned: bool = False) -> int:
         """See :func:`fuse_countmin`."""
         return fuse_countmin(clock, counters, counter_max, cells, steps,
-                             end_steps)
+                             end_steps, count_cleaned)
 
     # -- shard scatter fan-out ----------------------------------------
 
-    def take_subset(self, items, mask: np.ndarray):
+    def take_subset(self, items: Any, mask: np.ndarray) -> Any:
         """See :func:`take_subset`."""
         return take_subset(items, mask)
 
-    def scatter_by_shard(self, items, times_arr: np.ndarray,
-                         shard_ids: np.ndarray):
+    def scatter_by_shard(self, items: Any, times_arr: np.ndarray,
+                         shard_ids: np.ndarray,
+                         ) -> "list[tuple[int, Any, np.ndarray]]":
         """See :func:`scatter_by_shard`."""
         return scatter_by_shard(items, times_arr, shard_ids)
 

@@ -437,6 +437,8 @@ class ShadowAuditor:
 
     def _publish(self, report: AuditReport) -> None:
         """Push the cycle's numbers into the registry and event ring."""
+        if not _obs.ENABLED:
+            return
         for alert in report.alerts:
             _obs.record_event(
                 time=report.now, severity=alert.severity,
@@ -445,8 +447,6 @@ class ShadowAuditor:
                         "predicted": alert.predicted,
                         "threshold": alert.threshold},
             )
-        if not _obs.ENABLED:
-            return
         reg = _obs.registry()
         for task, audit in report.tasks.items():
             labels = {"task": task, "stat": audit.stat}

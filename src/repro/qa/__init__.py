@@ -1,13 +1,22 @@
 """Correctness tooling for the Clock-sketch reproduction.
 
-Two halves, both repo-specific:
+Three legs, all repo-specific, unified behind
+``python -m repro.qa {lint,flow,sanitize}``:
 
 - **sketch-lint** (:mod:`repro.qa.lint` / :mod:`repro.qa.rules`): an
   AST-based static-analysis pass enforcing the disciplines the hot
   path depends on — no scalar loops over streams, explicit numpy
-  dtypes, clock-cell mutation only through :class:`ClockArray`, locked
-  access through ``ThreadSafeSketch``, matched scalar/batch API pairs.
-  Run it with ``python -m repro.qa.lint src tests``.
+  dtypes, clock-cell mutation only through :class:`ClockArray`,
+  matched scalar/batch API pairs. Run it with
+  ``python -m repro.qa lint src tests``; add ``--stale-suppressions``
+  to audit the suppression comments themselves.
+
+- **sketch-flow** (:mod:`repro.qa.flow`): an inter-procedural dataflow
+  analyzer — per-function CFGs, a cross-module call graph, and four
+  whole-program rules: SK108 lock dominance (absorbing the old lint
+  rule SK104), SK109 fault-path completeness, SK110 kernel purity,
+  SK111 ``_obs.ENABLED`` gating. Run it with
+  ``python -m repro.qa flow src tests``.
 
 - **sanitizer** (:mod:`repro.qa.sanitizer`): a dynamic invariant
   checker that wraps :class:`~repro.core.clockarray.ClockArray` and
@@ -15,7 +24,8 @@ Two halves, both repo-specific:
   monotonicity, cleaning-cadence bound, no-false-expiry spot checks,
   and serialize round-trip stability. Enable it per sketch with
   ``sanitize=True``, globally with :func:`repro.qa.sanitizer.install`,
-  or for a whole pytest run with ``REPRO_SANITIZE=1``.
+  or for a whole pytest run with ``REPRO_SANITIZE=1``;
+  ``python -m repro.qa sanitize`` runs a standalone smoke pass.
 
 See ``docs/qa.md`` for the full rule catalogue and workflows.
 """
@@ -34,6 +44,11 @@ _EXPORTS = {
     "lint_paths": ("lint", "lint_paths"),
     "lint_source": ("lint", "lint_source"),
     "lint_main": ("lint", "main"),
+    "find_stale_suppressions": ("lint", "find_stale_suppressions"),
+    "analyze_paths": ("flow", "analyze_paths"),
+    "analyze_source": ("flow", "analyze_source"),
+    "flow_main": ("flow", "main"),
+    "FLOW_RULE_IDS": ("flow", "FLOW_RULE_IDS"),
     "Finding": ("rules", "Finding"),
     "RULE_IDS": ("rules", "RULE_IDS"),
     "SUPPRESSION_TOKENS": ("rules", "SUPPRESSION_TOKENS"),
@@ -65,14 +80,19 @@ def __dir__() -> "list[str]":
 
 
 __all__ = [
+    "FLOW_RULE_IDS",
     "Finding",
     "RULE_IDS",
     "SUPPRESSION_TOKENS",
     "SanitizerError",
+    "analyze_paths",
+    "analyze_source",
     "check_clock",
     "check_roundtrip",
     "check_sketch",
     "enabled",
+    "find_stale_suppressions",
+    "flow_main",
     "install",
     "lint_file",
     "lint_main",

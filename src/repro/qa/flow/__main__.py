@@ -1,0 +1,6 @@
+"""``python -m repro.qa.flow`` — the flow analyzer CLI."""
+
+from .driver import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

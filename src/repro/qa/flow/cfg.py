@@ -1,0 +1,408 @@
+"""Per-function control-flow graphs with guard facts and dominators.
+
+The flow analyzer's rules reason about *paths*, not statements: is this
+attribute read dominated by a lock acquisition, is this recorder call
+guarded by the ``_obs.ENABLED`` switchboard on every path that reaches
+it, is this dynamic ``getattr`` protected by an allowlist membership
+test. :func:`build_cfg` lowers one ``ast`` function into basic blocks
+with three kinds of path information:
+
+- **edges** carry *guard facts*: crossing the true edge of
+  ``if _obs.ENABLED:`` establishes the fact ``obs-enabled``; crossing
+  the false edge of ``if name not in _CONFIG:`` establishes the fact
+  ``in:name:_CONFIG``. Facts are must-information — a block's incoming
+  fact set is the intersection over its predecessor edges — so a fact
+  holds at a statement only when it holds on *every* path from the
+  function entry (``and``/``or`` conditions contribute the operand
+  facts their short-circuit semantics actually guarantee).
+- **with-contexts**: every block records the lexical ``with`` items it
+  executes under (``with self._lock:`` and local aliases of it), which
+  is how lock-dominance recognises a guarded region.
+- **dominators** over blocks, refined to statement granularity by
+  in-block ordering.
+
+The builder is deliberately conservative where precision is not needed:
+``try`` bodies may jump to their handlers from any statement, loop
+bodies do not dominate loop exits, and facts are never killed (the
+analyzed guards — the obs switchboard, frozen config allowlists — are
+not reassigned inside the functions the rules inspect).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = ["CFG", "Block", "build_cfg", "expr_key"]
+
+#: The guard fact established by a truthy observability switchboard test.
+OBS_ENABLED_FACT = "obs-enabled"
+
+
+def expr_key(node: ast.expr) -> Optional[str]:
+    """Dotted key of a plain name/attribute chain (else None).
+
+    ``self._lock`` -> ``"self._lock"``; used both as a with-context
+    descriptor and to name membership-test collections in guard facts.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_enabled_expr(node: ast.expr) -> bool:
+    """A truthy test of the obs switchboard: ``*.ENABLED`` / ``ENABLED``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ENABLED"
+    if isinstance(node, ast.Name):
+        return node.id == "ENABLED"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else "")
+        return name == "enabled"
+    return False
+
+
+def _atom_facts(node: ast.expr) -> FrozenSet[str]:
+    """Facts established when ``node`` (no boolean structure) is truthy."""
+    facts: Set[str] = set()
+    if _is_enabled_expr(node):
+        facts.add(OBS_ENABLED_FACT)
+    if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+            and isinstance(node.ops[0], ast.In) \
+            and isinstance(node.left, ast.Name):
+        coll = expr_key(node.comparators[0])
+        if coll is not None:
+            facts.add(f"in:{node.left.id}:{coll}")
+    return frozenset(facts)
+
+
+def facts_if_true(node: ast.expr) -> FrozenSet[str]:
+    """Facts guaranteed on the true edge of a condition."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return facts_if_false(node.operand)
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+        out: Set[str] = set()
+        for value in node.values:
+            out |= facts_if_true(value)
+        return frozenset(out)
+    return _atom_facts(node)
+
+
+def facts_if_false(node: ast.expr) -> FrozenSet[str]:
+    """Facts guaranteed on the false edge of a condition.
+
+    A falsy ``or`` means every operand was falsy, so each operand's
+    false-facts hold; ``x not in S`` being falsy means ``x in S``.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return facts_if_true(node.operand)
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+        out: Set[str] = set()
+        for value in node.values:
+            out |= facts_if_false(value)
+        return frozenset(out)
+    if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+            and isinstance(node.ops[0], ast.NotIn) \
+            and isinstance(node.left, ast.Name):
+        coll = expr_key(node.comparators[0])
+        if coll is not None:
+            return frozenset({f"in:{node.left.id}:{coll}"})
+    return frozenset()
+
+
+class Block:
+    """One basic block: stored statements plus labelled successor edges."""
+
+    __slots__ = ("bid", "stmts", "succ", "ctx")
+
+    def __init__(self, bid: int, ctx: Tuple[str, ...]) -> None:
+        self.bid = bid
+        self.stmts: List[ast.AST] = []
+        #: ``(successor, facts established by taking this edge)``
+        self.succ: List[Tuple["Block", FrozenSet[str]]] = []
+        #: lexical ``with`` context keys active throughout the block
+        self.ctx: FrozenSet[str] = frozenset(ctx)
+
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class CFG:
+    """The control-flow graph of one function, with derived analyses."""
+
+    def __init__(self, func: ast.AST, blocks: List[Block],
+                 entry: Block) -> None:
+        self.func = func
+        self.blocks = blocks
+        self.entry = entry
+        #: id(ast node) -> (block index, statement index) for every
+        #: stored statement and every expression inside one.
+        self._where: Dict[int, Tuple[int, int]] = {}
+        for block in blocks:
+            for si, stmt in enumerate(block.stmts):
+                for sub in ast.walk(stmt):
+                    self._where.setdefault(id(sub), (block.bid, si))
+        self._facts: Optional[List[Optional[FrozenSet[str]]]] = None
+        self._dom: Optional[List[Set[int]]] = None
+
+    # -- location ------------------------------------------------------
+
+    def locate(self, node: ast.AST) -> Optional[Tuple[int, int]]:
+        """(block, statement) position of a node, if it was stored."""
+        return self._where.get(id(node))
+
+    def context_of(self, node: ast.AST) -> FrozenSet[str]:
+        """Lexical with-context keys active at a node's statement."""
+        where = self.locate(node)
+        if where is None:
+            return _EMPTY
+        return self.blocks[where[0]].ctx
+
+    # -- guard facts ---------------------------------------------------
+
+    def facts_at(self, node: ast.AST) -> FrozenSet[str]:
+        """Guard facts that hold on every path reaching a node."""
+        if self._facts is None:
+            self._facts = self._compute_facts()
+        where = self.locate(node)
+        if where is None:
+            return _EMPTY
+        facts = self._facts[where[0]]
+        return facts if facts is not None else _EMPTY
+
+    def _compute_facts(self) -> List[Optional[FrozenSet[str]]]:
+        # Forward must-analysis: IN[b] = intersection over predecessor
+        # edges of (IN[pred] | edge facts); None is TOP (unreached).
+        facts: List[Optional[FrozenSet[str]]] = [None] * len(self.blocks)
+        facts[self.entry.bid] = _EMPTY
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                src = facts[block.bid]
+                if src is None:
+                    continue
+                for succ, edge in block.succ:
+                    incoming = src | edge
+                    cur = facts[succ.bid]
+                    new = incoming if cur is None else (cur & incoming)
+                    if new != cur:
+                        facts[succ.bid] = new
+                        changed = True
+        return facts
+
+    # -- dominance -----------------------------------------------------
+
+    def _dominators(self) -> List[Set[int]]:
+        if self._dom is not None:
+            return self._dom
+        n = len(self.blocks)
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for block in self.blocks:
+            for succ, _ in block.succ:
+                preds[succ.bid].append(block.bid)
+        full = set(range(n))
+        dom: List[Set[int]] = [set(full) for _ in range(n)]
+        dom[self.entry.bid] = {self.entry.bid}
+        changed = True
+        while changed:
+            changed = False
+            for b in range(n):
+                if b == self.entry.bid:
+                    continue
+                reached = [dom[p] for p in preds[b]]
+                new = set.intersection(*reached) if reached else set(full)
+                new = new | {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dom = dom
+        return dom
+
+    def dominates(self, a: ast.AST, b: ast.AST) -> bool:
+        """Does statement-of-``a`` dominate statement-of-``b``?
+
+        Statement granularity: strict block dominance, or same block
+        with ``a`` at an earlier (or equal) statement index.
+        """
+        wa, wb = self.locate(a), self.locate(b)
+        if wa is None or wb is None:
+            return False
+        if wa[0] == wb[0]:
+            return wa[1] <= wb[1]
+        return wa[0] in self._dominators()[wb[0]]
+
+
+class _LoopCtx:
+    __slots__ = ("head", "exit")
+
+    def __init__(self, head: Block, exit_: Block) -> None:
+        self.head = head
+        self.exit = exit_
+
+
+class _Builder:
+    def __init__(self, lock_aliases: FrozenSet[str]) -> None:
+        self.blocks: List[Block] = []
+        self.ctx: Tuple[str, ...] = ()
+        #: local names aliasing ``self._lock`` (``lock = self._lock``);
+        #: ``with lock:`` then counts as the canonical lock context.
+        self.lock_aliases = lock_aliases
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks), self.ctx)
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def edge(a: Block, b: Block, facts: FrozenSet[str] = _EMPTY) -> None:
+        a.succ.append((b, facts))
+
+    def seq(self, stmts: List[ast.stmt], cur: Optional[Block],
+            loop: Optional[_LoopCtx]) -> Optional[Block]:
+        for stmt in stmts:
+            if cur is None:
+                # Unreachable code after return/raise/break — still
+                # lower it so its statements get located, but keep it
+                # disconnected (no incoming edges: facts stay TOP).
+                cur = self.new_block()
+            cur = self.stmt(stmt, cur, loop)
+        return cur
+
+    def stmt(self, node: ast.stmt, cur: Block,
+             loop: Optional[_LoopCtx]) -> Optional[Block]:
+        if isinstance(node, ast.If):
+            cur.stmts.append(node.test)
+            true_b = self.new_block()
+            false_b = self.new_block()
+            self.edge(cur, true_b, facts_if_true(node.test))
+            self.edge(cur, false_b, facts_if_false(node.test))
+            t_end = self.seq(node.body, true_b, loop)
+            f_end = self.seq(node.orelse, false_b, loop)
+            if t_end is None and f_end is None:
+                return None
+            join = self.new_block()
+            if t_end is not None:
+                self.edge(t_end, join)
+            if f_end is not None:
+                self.edge(f_end, join)
+            return join
+
+        if isinstance(node, ast.While):
+            head = self.new_block()
+            self.edge(cur, head)
+            head.stmts.append(node.test)
+            body = self.new_block()
+            exit_ = self.new_block()
+            self.edge(head, body, facts_if_true(node.test))
+            self.edge(head, exit_, facts_if_false(node.test))
+            b_end = self.seq(node.body, body, _LoopCtx(head, exit_))
+            if b_end is not None:
+                self.edge(b_end, head)
+            return self.seq(node.orelse, exit_, loop)
+
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            cur.stmts.append(node.iter)
+            cur.stmts.append(node.target)
+            head = self.new_block()
+            self.edge(cur, head)
+            body = self.new_block()
+            exit_ = self.new_block()
+            self.edge(head, body)
+            self.edge(head, exit_)
+            b_end = self.seq(node.body, body, _LoopCtx(head, exit_))
+            if b_end is not None:
+                self.edge(b_end, head)
+            return self.seq(node.orelse, exit_, loop)
+
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            keys: List[str] = []
+            for item in node.items:
+                cur.stmts.append(item.context_expr)
+                key = expr_key(item.context_expr)
+                if key is not None:
+                    if key in self.lock_aliases:
+                        key = "self._lock"
+                    keys.append(key)
+            outer_ctx = self.ctx
+            self.ctx = outer_ctx + tuple(keys)
+            inner = self.new_block()
+            self.edge(cur, inner)
+            end = self.seq(node.body, inner, loop)
+            self.ctx = outer_ctx
+            if end is None:
+                return None
+            after = self.new_block()
+            self.edge(end, after)
+            return after
+
+        if isinstance(node, ast.Try):
+            body_start = self.new_block()
+            self.edge(cur, body_start)
+            first = len(self.blocks) - 1
+            b_end = self.seq(node.body, body_start, loop)
+            body_slice = self.blocks[first:]
+            ends: List[Block] = []
+            for handler in node.handlers:
+                h_block = self.new_block()
+                h_block.stmts.append(handler)
+                # The exception may surface at any point of the body.
+                for block in body_slice:
+                    self.edge(block, h_block)
+                h_end = self.seq(handler.body, h_block, loop)
+                if h_end is not None:
+                    ends.append(h_end)
+            if b_end is not None:
+                b_end = self.seq(node.orelse, b_end, loop)
+            if b_end is not None:
+                ends.append(b_end)
+            if not ends and not node.finalbody:
+                return None
+            join = self.new_block()
+            for end in ends:
+                self.edge(end, join)
+            return self.seq(node.finalbody, join, loop)
+
+        if isinstance(node, (ast.Return, ast.Raise)):
+            cur.stmts.append(node)
+            return None
+        if isinstance(node, ast.Break):
+            if loop is not None:
+                self.edge(cur, loop.exit)
+            return None
+        if isinstance(node, ast.Continue):
+            if loop is not None:
+                self.edge(cur, loop.head)
+            return None
+
+        # Leaf statements — including nested def/class statements, whose
+        # bodies the rules treat lexically rather than via this CFG.
+        cur.stmts.append(node)
+        return cur
+
+
+def _lock_aliases(func: ast.AST) -> FrozenSet[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Attribute) \
+                and expr_key(node.value) == "self._lock":
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+    return frozenset(aliases)
+
+
+def build_cfg(func: Any) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    builder = _Builder(_lock_aliases(func))
+    entry = builder.new_block()
+    builder.seq(list(func.body), entry, None)
+    return CFG(func, builder.blocks, entry)

@@ -22,10 +22,6 @@ SK103
     array's ``values`` buffer. All cell mutation goes through the
     :class:`~repro.core.clockarray.ClockArray` API so invariants stay
     enforceable in one place.
-SK104
-    Every ``ThreadSafeSketch`` method that touches the wrapped sketch
-    does so under ``with self._lock`` or through ``self._guarded``.
-    Documented lock-free paths carry ``# sketchlint: lockfree-ok``.
 SK105
     Every sketch subclass of :class:`~repro.core.base.ClockSketchBase`
     defines *matched* scalar/batch API pairs: ``insert``/``insert_many``,
@@ -50,6 +46,13 @@ SK107
     kernel seam: the copy stops being swappable for the compiled
     backend and silently drifts from the reference. Deliberate
     exceptions carry ``# sketchlint: kernel-ok``.
+
+The historical SK104 (ThreadSafeSketch lock discipline) was absorbed
+into the flow analyzer's SK108 (:mod:`repro.qa.flow.rules`), which
+checks the same discipline with real control-flow dominance — plus
+shard-replica quiescence — instead of a per-statement pattern. The
+``lockfree-ok`` token (and the literal ``SK104``) remain accepted and
+now suppress SK108.
 """
 
 from __future__ import annotations
@@ -62,17 +65,24 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 __all__ = ["Finding", "ModuleScope", "RULE_IDS", "SUPPRESSION_TOKENS",
            "run_rules", "scope_for_path"]
 
-RULE_IDS = ("SK101", "SK102", "SK103", "SK104", "SK105", "SK106", "SK107")
+RULE_IDS = ("SK101", "SK102", "SK103", "SK105", "SK106", "SK107")
 
 #: Suppression comment tokens (``# sketchlint: <token>``) per rule.
+#: Shared with the flow analyzer (SK108-SK111); ``lockfree-ok`` and the
+#: literal ``SK104`` are kept as aliases of SK108, which replaced SK104.
 SUPPRESSION_TOKENS: Dict[str, str] = {
     "scalar-ok": "SK101",
     "dtype-ok": "SK102",
     "raw-clock-ok": "SK103",
-    "lockfree-ok": "SK104",
     "pair-ok": "SK105",
     "metric-name-ok": "SK106",
     "kernel-ok": "SK107",
+    "lock-ok": "SK108",
+    "lockfree-ok": "SK108",
+    "SK104": "SK108",
+    "fault-ok": "SK109",
+    "impure-ok": "SK110",
+    "obs-gate-ok": "SK111",
 }
 
 
@@ -323,67 +333,6 @@ def _rule_sk103(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding
 
 
 # ----------------------------------------------------------------------
-# SK104 — ThreadSafeSketch must touch the wrapped sketch under its lock
-# ----------------------------------------------------------------------
-
-def _is_self_attr(node: ast.expr, attr: str) -> bool:
-    return (isinstance(node, ast.Attribute) and node.attr == attr
-            and isinstance(node.value, ast.Name) and node.value.id == "self")
-
-
-def _rule_sk104(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding]:
-    findings: List[Finding] = []
-    for cls in ast.walk(tree):
-        if not (isinstance(cls, ast.ClassDef) and cls.name == "ThreadSafeSketch"):
-            continue
-        for method in cls.body:
-            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            _walk_sk104(method, method, False, path, findings)
-    return findings
-
-
-def _walk_sk104(node: ast.AST, root: ast.AST, protected: bool, path: str,
-                findings: List[Finding]) -> None:
-    if (_is_self_attr(node, "sketch")
-            and isinstance(node, ast.Attribute)
-            and isinstance(node.ctx, ast.Load)
-            and not protected):
-        findings.append(Finding(
-            "SK104", path, node.lineno,
-            "ThreadSafeSketch touches the wrapped sketch outside "
-            "`with self._lock` / `self._guarded(...)`; unlocked access "
-            "races the cleaner thread (mark a documented lock-free path "
-            "with `# sketchlint: lockfree-ok`)",
-        ))
-        return
-    if isinstance(node, (ast.With, ast.AsyncWith)):
-        locked = protected or any(
-            _is_self_attr(item.context_expr, "_lock") for item in node.items
-        )
-        for item in node.items:
-            _walk_sk104(item, root, protected, path, findings)
-        for child in node.body:
-            _walk_sk104(child, root, locked, path, findings)
-        return
-    if isinstance(node, ast.Call) and _is_self_attr(node.func, "_guarded"):
-        _walk_sk104(node.func, root, protected, path, findings)
-        for arg in node.args:
-            _walk_sk104(arg, root, True, path, findings)
-        for kw in node.keywords:
-            _walk_sk104(kw.value, root, True, path, findings)
-        return
-    if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
-            and node is not root):
-        # Nested callables run deferred — by convention they are handed
-        # to self._guarded for dispatch, so their bodies count as
-        # protected; the dispatch call itself is still checked above.
-        protected = True
-    for child in ast.iter_child_nodes(node):
-        _walk_sk104(child, root, protected, path, findings)
-
-
-# ----------------------------------------------------------------------
 # SK105 — matched scalar/batch API pairs on temporal-base subclasses
 # ----------------------------------------------------------------------
 
@@ -526,7 +475,7 @@ def _rule_sk107(tree: ast.Module, path: str, scope: ModuleScope) -> List[Finding
 
 
 _RULES: Tuple[Callable[[ast.Module, str, ModuleScope], List[Finding]], ...] = (
-    _rule_sk101, _rule_sk102, _rule_sk103, _rule_sk104, _rule_sk105,
+    _rule_sk101, _rule_sk102, _rule_sk103, _rule_sk105,
     _rule_sk106, _rule_sk107,
 )
 

@@ -30,6 +30,7 @@ them through one worker process per shard over shared memory.
 from __future__ import annotations
 
 from time import perf_counter
+from typing import Any
 
 import numpy as np
 
@@ -45,6 +46,15 @@ __all__ = ["SerialShardRouter", "ShardedSketch"]
 
 _SHARDABLE = (ClockBloomFilter, ClockBitmap, ClockCountMin, ClockTimeSpanSketch)
 
+#: Immutable replica configuration the facade forwards verbatim.
+#: Mutable state (clock, counters, timestamps, engine) is deliberately
+#: absent: with a process router it lives in shared memory that workers
+#: may still be writing.
+_FORWARDED_CONFIG = frozenset({
+    "window", "n", "k", "s", "seed", "width", "depth", "conservative",
+    "counter_bits", "counter_max", "max_value",
+})
+
 
 class SerialShardRouter:
     """In-process router: applies each shard's sub-batch inline.
@@ -59,12 +69,12 @@ class SerialShardRouter:
 
     kind = "serial"
 
-    def __init__(self, replicas):
+    def __init__(self, replicas: "list[Any]") -> None:
         self.replicas = list(replicas)
         for replica in self.replicas:
             replica._accepts_global_times = True
 
-    def ingest(self, shard: int, items, times: np.ndarray) -> None:
+    def ingest(self, shard: int, items: Any, times: np.ndarray) -> None:
         self.replicas[shard].insert_many(items, times)
 
     def barrier(self, now: float) -> None:
@@ -117,11 +127,11 @@ class ShardedSketch(ClockSketchBase):
     time). Use as a context manager to release worker processes.
     """
 
-    def __init__(self, prototype, shards: int = 2, *, router: str = "serial",
-                 mp_context=None,
+    def __init__(self, prototype: Any, shards: int = 2, *,
+                 router: str = "serial", mp_context: Any = None,
                  queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
-                 timeout: float = DEFAULT_TIMEOUT, time_source=None,
-                 _replicas=None):
+                 timeout: float = DEFAULT_TIMEOUT, time_source: Any = None,
+                 _replicas: "list[Any] | None" = None) -> None:
         if _replicas is not None:
             replicas = list(_replicas)
             if len(replicas) != shards:
@@ -170,13 +180,13 @@ class ShardedSketch(ClockSketchBase):
                 f"unknown router {router!r}; use 'serial' or 'process'"
             )
         self._dirty = False
-        self._cache = None
+        self._cache: Any = None
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
 
-    def insert(self, item, t=None) -> None:
+    def insert(self, item: Any, t: "float | None" = None) -> None:
         """Insert one item, routed to its shard at the resolved time."""
         now = self._insert_time(t)
         shard = self.selector.shard_of(item)
@@ -185,7 +195,7 @@ class ShardedSketch(ClockSketchBase):
             _obs.record_shard_route(shard, 1, self.router.queue_depth(shard))
         self._dirty = True
 
-    def insert_many(self, items, times=None) -> None:
+    def insert_many(self, items: Any, times: Any = None) -> None:
         """Insert a batch: resolve times once, scatter by shard hash.
 
         Each shard's sub-batch preserves stream order and carries the
@@ -215,7 +225,7 @@ class ShardedSketch(ClockSketchBase):
     # Merged global view
     # ------------------------------------------------------------------
 
-    def merged(self, t=None):
+    def merged(self, t: "float | None" = None) -> Any:
         """The global sketch at time ``t``: barrier, snapshot, union.
 
         Synchronises every shard to the query time (for the process
@@ -243,7 +253,7 @@ class ShardedSketch(ClockSketchBase):
         self._dirty = False
         return view
 
-    def snapshot(self, t=None):
+    def snapshot(self, t: "float | None" = None) -> Any:
         """A detached copy of the merged global sketch at time ``t``."""
         return self.merged(t).snapshot()
 
@@ -251,23 +261,25 @@ class ShardedSketch(ClockSketchBase):
     # Queries (delegate to the merged view)
     # ------------------------------------------------------------------
 
-    def query(self, item, t=None):
+    def query(self, item: Any, t: "float | None" = None) -> Any:
         """Query the merged global view for one item."""
         return self.merged(t).query(item)
 
-    def query_many(self, items, t=None):
+    def query_many(self, items: Any, t: "float | None" = None) -> Any:
         """Query the merged global view for a batch of items."""
         return self.merged(t).query_many(items)
 
-    def contains(self, item, t=None):
+    def contains(self, item: Any, t: "float | None" = None) -> bool:
         """Membership query on the merged view (Bloom-filter kinds)."""
         return self.merged(t).contains(item)
 
-    def contains_many(self, items, t=None):
+    def contains_many(self, items: Any,
+                      t: "float | None" = None) -> np.ndarray:
         """Batch membership query on the merged view."""
         return self.merged(t).contains_many(items)
 
-    def estimate(self, t=None, strict: bool = False):
+    def estimate(self, t: "float | None" = None,
+                 strict: bool = False) -> float:
         """Cardinality estimate from the merged view (bitmap kind)."""
         return self.merged(t).estimate(strict=strict)
 
@@ -276,12 +288,12 @@ class ShardedSketch(ClockSketchBase):
     # ------------------------------------------------------------------
 
     @property
-    def replicas(self) -> list:
+    def replicas(self) -> "list[Any]":
         """The per-shard replica sketches (read-only use)."""
         return self.router.replicas
 
     @property
-    def clock(self):
+    def clock(self) -> Any:
         """The merged view's clock (plain sketches expose ``.clock``)."""
         return self.merged().clock
 
@@ -298,7 +310,7 @@ class ShardedSketch(ClockSketchBase):
         """
         return self.router.replicas[0].memory_bits()
 
-    def metrics(self) -> dict:
+    def metrics(self) -> "dict[str, Any]":
         """Structural metrics for the facade and each shard."""
         replicas = self.router.replicas
         return {
@@ -313,12 +325,15 @@ class ShardedSketch(ClockSketchBase):
                              for p in range(self.shards)],
         }
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Configuration attributes (n, k, s, width, ...) delegate to the
         # shard-0 replica so callers can introspect a ShardedSketch like
-        # a plain sketch. Only plain config names are forwarded; private
-        # state and operational attributes stay on the facade.
-        if name.startswith("_") or name in ("replicas", "router"):
+        # a plain sketch. Only the closed _FORWARDED_CONFIG set is
+        # forwarded: with a process router the replica is backed by
+        # shared memory that worker processes may still be writing, so
+        # mutable state (clock, counters, engine) must go through the
+        # barrier-synchronised query path, never raw delegation.
+        if name not in _FORWARDED_CONFIG:
             raise AttributeError(name)
         router = self.__dict__.get("router")
         if router is None or not router.replicas:
@@ -337,7 +352,7 @@ class ShardedSketch(ClockSketchBase):
     def __enter__(self) -> "ShardedSketch":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:

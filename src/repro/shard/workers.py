@@ -26,7 +26,7 @@ import queue as queue_mod
 import time
 from multiprocessing import get_context
 from multiprocessing import shared_memory
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -60,9 +60,9 @@ class SharedLayout(NamedTuple):
     arrays: "tuple[tuple[str, str, int, int], ...]"
 
 
-def shared_layout(sketch) -> SharedLayout:
+def shared_layout(sketch: Any) -> SharedLayout:
     """Compute the shared block layout for one replica's mutable arrays."""
-    arrays = []
+    arrays: "list[tuple[str, str, int, int]]" = []
     offset = _CONTROL_BYTES
 
     def add(name: str, arr: np.ndarray) -> None:
@@ -81,7 +81,7 @@ def shared_layout(sketch) -> SharedLayout:
     return SharedLayout(total=offset, arrays=tuple(arrays))
 
 
-def _bind_shared(sketch, buf, layout: SharedLayout) -> None:
+def _bind_shared(sketch: Any, buf: Any, layout: SharedLayout) -> None:
     """Point a replica's mutable arrays into a shared-memory block.
 
     The current contents are copied into the block first (binding is
@@ -98,7 +98,7 @@ def _bind_shared(sketch, buf, layout: SharedLayout) -> None:
             setattr(sketch, attr, view)
 
 
-def _unbind_shared(sketch, layout: SharedLayout) -> None:
+def _unbind_shared(sketch: Any, layout: SharedLayout) -> None:
     """Detach a replica from shared memory, keeping a private copy."""
     for attr, dtype, length, _offset in layout.arrays:
         if attr == "clock_values":
@@ -108,26 +108,39 @@ def _unbind_shared(sketch, layout: SharedLayout) -> None:
             setattr(sketch, attr, np.array(getattr(sketch, attr)))
 
 
-def _control_views(buf) -> "tuple[np.ndarray, np.ndarray]":
+def _close_shm(shm: shared_memory.SharedMemory) -> None:
+    """Close a shared block, tolerating exported buffer views.
+
+    A ``BufferError`` here means a numpy view over the block is still
+    alive; the mapping is reclaimed when the process exits, so on this
+    shutdown path tolerating it is safe (and the only option).
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+def _control_views(buf: Any) -> "tuple[np.ndarray, np.ndarray]":
     ints = np.ndarray((2,), dtype=np.int64, buffer=buf, offset=0)
     now = np.ndarray((1,), dtype=np.float64, buffer=buf, offset=16)
     return ints, now
 
 
-def _write_control(buf, sketch) -> None:
+def _write_control(buf: Any, sketch: Any) -> None:
     ints, now = _control_views(buf)
     ints[0] = sketch.clock.steps_done
     ints[1] = sketch.items_inserted
     now[0] = sketch.clock.now
 
 
-def _read_control(buf) -> "tuple[int, int, float]":
+def _read_control(buf: Any) -> "tuple[int, int, float]":
     ints, now = _control_views(buf)
     return int(ints[0]), int(ints[1]), float(now[0])
 
 
 def _shard_worker(shard: int, payload: bytes, shm_name: str,
-                  layout: SharedLayout, commands, acks) -> None:
+                  layout: SharedLayout, commands: Any, acks: Any) -> None:
     """One shard's worker loop: rebuild the replica, drain commands.
 
     Command protocol (tuples): ``("ingest", seq, items, times)``,
@@ -185,11 +198,8 @@ def _shard_worker(shard: int, payload: bytes, shm_name: str,
             running = False
         _write_control(shm.buf, sketch)
         acks.put((shard, seq, status, detail))
-    try:
-        del sketch
-        shm.close()
-    except BufferError:
-        pass
+    del sketch  # drop the replica's views over the shared block first
+    _close_shm(shm)
 
 
 class ProcessShardRouter:
@@ -214,9 +224,10 @@ class ProcessShardRouter:
 
     kind = "process"
 
-    def __init__(self, replicas, *, mp_context=None,
+    def __init__(self, replicas: "list[Any]", *, mp_context: Any = None,
                  queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
-                 timeout: float = DEFAULT_TIMEOUT, time_source=None):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 time_source: Any = None) -> None:
         if isinstance(mp_context, str) or mp_context is None:
             ctx = get_context(mp_context)
         else:
@@ -225,10 +236,10 @@ class ProcessShardRouter:
         self.timeout = float(timeout)
         self._time = time_source if time_source is not None else time.monotonic
         self._acks = ctx.Queue()
-        self._commands = []
-        self._shms = []
-        self._layouts = []
-        self._procs = []
+        self._commands: "list[Any]" = []
+        self._shms: "list[shared_memory.SharedMemory]" = []
+        self._layouts: "list[SharedLayout]" = []
+        self._procs: "list[Any]" = []
         self._pending: "list[list[int]]" = [[] for _ in self.replicas]
         self._failed: "dict[int, str]" = {}
         self._seq = 0
@@ -287,11 +298,16 @@ class ProcessShardRouter:
             try:
                 self._pending[shard].remove(seq)
             except ValueError:
-                pass
+                # An ack for a command we never recorded as pending means
+                # the seq bookkeeping diverged between parent and worker —
+                # mark the shard failed so the next dispatch/barrier
+                # surfaces it instead of silently dropping the ack.
+                self._failed[shard] = (
+                    f"protocol error: unexpected ack for command {seq}")
             if status != "ok":
                 self._failed[shard] = detail
 
-    def _dispatch(self, shard: int, command: tuple) -> None:
+    def _dispatch(self, shard: int, command: "tuple[Any, ...]") -> None:
         if self._closed:
             raise ShardWorkerError("shard router is closed")
         if self._failed:
@@ -321,12 +337,12 @@ class ProcessShardRouter:
         self._pending[shard].append(seq)
         self._absorb_acks()
 
-    def ingest(self, shard: int, items, times: np.ndarray) -> None:
+    def ingest(self, shard: int, items: Any, times: np.ndarray) -> None:
         """Queue one sub-batch for a shard's worker."""
         self._dispatch(shard, ("ingest", items, np.asarray(times,
                                                            dtype=np.float64)))
 
-    def inject(self, shard: int, op: str, *payload) -> None:
+    def inject(self, shard: int, op: str, *payload: Any) -> None:
         """Send a raw protocol command (test hooks: ``stall``/``crash``)."""
         self._dispatch(shard, (op,) + payload)
 
@@ -420,10 +436,7 @@ class ProcessShardRouter:
         self._acks.cancel_join_thread()
         self._acks.close()
         for shm in self._shms:
-            try:
-                shm.close()
-            except BufferError:
-                pass
+            _close_shm(shm)
             try:
                 shm.unlink()
             except FileNotFoundError:

@@ -1,0 +1,22 @@
+"""SK109 corpus: silently dropped failures on shard/engine paths."""
+
+
+def absorb_ack(pending, seq):
+    try:
+        pending.remove(seq)
+    except ValueError:
+        pass  # BAD: bookkeeping divergence vanishes
+
+
+def drain_queue(queue):
+    try:
+        return queue.get_nowait()
+    except:  # noqa: E722  BAD: bare except swallows everything
+        return None
+
+
+def apply_batch(sketch, items):
+    try:
+        sketch.insert_many(items)
+    except Exception:
+        return None  # BAD: broad catch, bound name unused, no raise

@@ -1,0 +1,33 @@
+"""SK109 corpus, clean: failures propagate or become typed errors."""
+
+
+class ShardWorkerError(RuntimeError):
+    pass
+
+
+def absorb_ack(pending, failed, shard, seq):
+    try:
+        pending.remove(seq)
+    except ValueError:
+        failed[shard] = f"unexpected ack for {seq}"
+
+
+def drain_queue(queue, empty_exc):
+    try:
+        return queue.get_nowait()
+    except empty_exc:
+        return None
+
+
+def apply_batch(sketch, items):
+    try:
+        sketch.insert_many(items)
+    except Exception as exc:
+        raise ShardWorkerError(f"shard ingest failed: {exc}") from exc
+
+
+def close(shm):
+    try:
+        shm.close()
+    except BufferError:
+        pass  # shutdown path: mapping dies with the process

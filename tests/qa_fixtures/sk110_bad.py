@@ -1,0 +1,33 @@
+"""SK110 corpus: impure kernel backends."""
+import os
+
+from ..obs import runtime as _obs
+
+COUNTER = 0
+
+
+def fuse_touch(clock, cells, steps, end_steps):
+    # BAD: kernel consults observability state.
+    if _obs.ENABLED:
+        return 1
+    return 0
+
+
+def sweep_hits(total_steps, cells, n):
+    # BAD: kernel reads the process environment.
+    if os.environ.get("REPRO_DEBUG"):
+        print("sweeping", n)  # BAD: I/O from a kernel
+    return total_steps
+
+
+def snapshot_values(set_steps, cells, n):
+    # BAD: kernel mutates module state.
+    global COUNTER
+    COUNTER += 1
+    return _helper(set_steps)
+
+
+def _helper(steps):
+    # BAD transitively: reached from a kernel root, touches obs.
+    _obs.record_batch("kernel", 0, "fused", 0.0)
+    return steps

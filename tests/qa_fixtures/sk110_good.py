@@ -1,0 +1,22 @@
+"""SK110 corpus, clean: kernels compute, callers instrument."""
+import numpy as np
+
+
+def fuse_touch(clock, cells, steps, end_steps, count_cleaned=False):
+    # Purity: the *caller* decides whether to pay for telemetry by
+    # passing count_cleaned; the kernel never asks the obs runtime.
+    if not count_cleaned:
+        return 0
+    return int(np.count_nonzero(cells))
+
+
+def sweep_hits(total_steps, cells, n):
+    return _helper(total_steps) - _helper(total_steps - n)
+
+
+def snapshot_values(set_steps, cells, n):
+    return np.maximum(set_steps, 0)
+
+
+def _helper(steps):
+    return steps * 2

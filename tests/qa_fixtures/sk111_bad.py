@@ -1,0 +1,22 @@
+"""SK111 corpus: unguarded enabled-mode instrumentation on hot paths."""
+
+from ..obs import runtime as _obs
+
+
+def insert_many(sketch, items):
+    sketch.apply(items)
+    # BAD: recorder call reachable from the hot path with no
+    # _obs.ENABLED guard on this path.
+    _obs.record_batch(type(sketch).__name__, len(items), "loop", 0.0)
+
+
+def query_many(sketch, items):
+    result = sketch.lookup(items)
+    _publish(len(items))
+    return result
+
+
+def _publish(count):
+    # BAD transitively: unguarded helper reached from query_many.
+    _obs.record_event(time=0.0, severity="info", kind="query",
+                      message=f"{count} keys", fields={})

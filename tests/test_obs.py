@@ -72,7 +72,7 @@ class TestRegistry:
     def test_invalid_name_and_labels_rejected(self):
         reg = MetricsRegistry()
         with pytest.raises(ConfigurationError, match="invalid metric name"):
-            reg.counter("0bad name")  # sketchlint: metric-name-ok
+            reg.counter("0bad name")
         with pytest.raises(ConfigurationError, match="invalid label name"):
             reg.counter(names.SKETCH_INSERTS_TOTAL, labels={"0bad": "x"})
         with pytest.raises(ConfigurationError, match="must be strings"):

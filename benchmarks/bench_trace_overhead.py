@@ -1,0 +1,65 @@
+"""Span-tracing overhead — default-rate tracing vs tracing off.
+
+Not a paper figure: this enforces :mod:`repro.obs.trace`'s documented
+budget (at the default sampling rate, span tracing adds under
+``OVERHEAD_BUDGET_PCT`` = 10% on a metrics-enabled monitored ingest
+workload; see docs/observability.md). CI's trace-overhead job uploads
+the JSON result as a workflow artifact.
+
+Set ``TRACE_BENCH_QUICK=1`` to run the reduced stream (CI does; the
+budget assertion is the same).
+
+The budget check retries up to ``MAX_ATTEMPTS`` measurements before
+failing: the per-chunk-median estimator discards transient spikes, but
+whole-process effects (allocator layout, cache aliasing, a busy
+neighbour for the full run) can inflate one measurement end to end.
+Noise only ever *adds* apparent overhead, so the minimum over attempts
+converges toward the true cost — a genuine budget regression fails all
+attempts.
+"""
+
+import json
+import os
+
+from repro.bench.experiments import trace_overhead
+
+from conftest import RESULTS_DIR, run_once
+
+MAX_ATTEMPTS = 3
+
+
+def _worst(result):
+    return max(row["overhead_pct"] for row in result.rows)
+
+
+def test_trace_overhead(benchmark, record_result):
+    quick = bool(os.environ.get("TRACE_BENCH_QUICK"))
+    result = run_once(benchmark, trace_overhead.run, seed=1, quick=quick)
+    for _ in range(MAX_ATTEMPTS - 1):
+        if _worst(result) <= result.extras["budget_pct"]:
+            break
+        retry = trace_overhead.run(seed=1, quick=quick)
+        if _worst(retry) < _worst(result):
+            result = retry
+    record_result("trace_overhead", result)
+
+    payload = {
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
+        "budget_pct": result.extras["budget_pct"],
+        "spans_recorded": result.extras["spans_recorded"],
+    }
+    (RESULTS_DIR / "BENCH_trace_overhead.json").write_text(
+        json.dumps(payload, indent=2, default=float) + "\n")
+
+    assert result.extras["spans_recorded"] > 0, (
+        "traced side recorded no spans — the workload is not exercising "
+        "the tracer"
+    )
+    budget = result.extras["budget_pct"]
+    for row in result.rows:
+        assert row["overhead_pct"] <= budget, (
+            f"{row['variant']}: tracing overhead {row['overhead_pct']:.1f}% "
+            f"exceeds the {budget:.0f}% budget"
+        )

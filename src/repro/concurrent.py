@@ -32,7 +32,9 @@ from typing import Any, Callable
 
 from .errors import ConfigurationError, TimeError
 from .kernels import use_backend
+from .obs import names as _names
 from .obs import runtime as _obs
+from .obs import trace as _trace
 
 __all__ = ["ThreadSafeSketch", "BackgroundCleaner"]
 
@@ -79,7 +81,8 @@ class ThreadSafeSketch:
                 _obs.record_lock(0.0, contended=False)
             else:
                 started = time.perf_counter()
-                lock.acquire()
+                with _trace.span(_names.SPAN_LOCK_WAIT):
+                    lock.acquire()
                 _obs.record_lock(time.perf_counter() - started,
                                  contended=True)
             try:

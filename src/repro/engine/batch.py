@@ -32,7 +32,9 @@ from time import perf_counter
 import numpy as np
 
 from ..errors import TimeError
+from ..obs import names as _names
 from ..obs import runtime as _obs
+from ..obs import trace as _trace
 
 __all__ = ["BatchEngine", "DEFAULT_MIN_FUSED"]
 
@@ -153,30 +155,35 @@ class BatchEngine:
         if self.tap is not None and items is not None:
             self.tap(items, times_arr)
         started = perf_counter() if _obs.ENABLED else 0.0
-        if clock.is_deferred:
+        with _trace.child_span(_names.SPAN_ENGINE_BATCH) as sp:
+            if clock.is_deferred:
 
-            def scatter(pos, end):
-                clock.touch(index_matrix[pos:end].ravel())
+                def scatter(pos, end):
+                    clock.touch(index_matrix[pos:end].ravel())
 
-            self._ingest_deferred(times_arr, scatter)
-            path = "deferred"
-        elif count >= self.min_fused:
-            steps = clock.step_targets(times_arr)
-            end_steps = int(steps[-1])
-            cleaned = clock.kernels.fuse_touch(
-                clock,
-                index_matrix.ravel(),
-                np.repeat(steps, index_matrix.shape[1]),
-                end_steps,
-                count_cleaned=_obs.ENABLED,
-            )
-            self._finish_fused(times_arr, end_steps, cleaned)
-            path = "fused"
-        else:
-            self._ingest_loop(
-                times_arr, lambda i, now: clock.touch(index_matrix[i])
-            )
-            path = "loop"
+                self._ingest_deferred(times_arr, scatter)
+                path = "deferred"
+            elif count >= self.min_fused:
+                steps = clock.step_targets(times_arr)
+                end_steps = int(steps[-1])
+                cleaned = clock.kernels.fuse_touch(
+                    clock,
+                    index_matrix.ravel(),
+                    np.repeat(steps, index_matrix.shape[1]),
+                    end_steps,
+                    count_cleaned=_obs.ENABLED,
+                )
+                self._finish_fused(times_arr, end_steps, cleaned)
+                path = "fused"
+            else:
+                self._ingest_loop(
+                    times_arr, lambda i, now: clock.touch(index_matrix[i])
+                )
+                path = "loop"
+            if sp.recording:
+                sp.set("sketch", type(sketch).__name__)
+                sp.set("path", path)
+                sp.set("items", count)
         if _obs.ENABLED:
             self._record(count, path, started)
 
@@ -196,49 +203,54 @@ class BatchEngine:
             self.tap(items, times_arr)
         k = index_matrix.shape[1]
         started = perf_counter() if _obs.ENABLED else 0.0
-        if clock.is_deferred:
+        with _trace.child_span(_names.SPAN_ENGINE_BATCH) as sp:
+            if clock.is_deferred:
 
-            def scatter(pos, end):
-                stamps = times_arr[pos:end]
-                flats = index_matrix[pos:end].ravel()
-                # First-writer-wins per cell: the minimum arrival time
-                # of the chunk's writers, applied only to empty cells
-                # (working over the chunk's unique cells keeps this
-                # O(chunk)).
-                uniq, inverse = np.unique(flats, return_inverse=True)
-                firsts = np.full(uniq.size, np.inf, dtype=np.float64)
-                np.minimum.at(firsts, inverse, np.repeat(stamps, k))
-                empty = timestamps[uniq] == 0.0
-                timestamps[uniq[empty]] = firsts[empty]
-                clock.touch(flats)
+                def scatter(pos, end):
+                    stamps = times_arr[pos:end]
+                    flats = index_matrix[pos:end].ravel()
+                    # First-writer-wins per cell: the minimum arrival
+                    # time of the chunk's writers, applied only to empty
+                    # cells (working over the chunk's unique cells keeps
+                    # this O(chunk)).
+                    uniq, inverse = np.unique(flats, return_inverse=True)
+                    firsts = np.full(uniq.size, np.inf, dtype=np.float64)
+                    np.minimum.at(firsts, inverse, np.repeat(stamps, k))
+                    empty = timestamps[uniq] == 0.0
+                    timestamps[uniq[empty]] = firsts[empty]
+                    clock.touch(flats)
 
-            self._ingest_deferred(times_arr, scatter)
-            path = "deferred"
-        elif count >= self.min_fused:
-            steps = clock.step_targets(times_arr)
-            end_steps = int(steps[-1])
-            cleaned = clock.kernels.fuse_timespan(
-                clock,
-                timestamps,
-                index_matrix.ravel(),
-                np.repeat(steps, k),
-                np.repeat(times_arr, k),
-                end_steps,
-                count_cleaned=_obs.ENABLED,
-            )
-            self._finish_fused(times_arr, end_steps, cleaned)
-            path = "fused"
-        else:
+                self._ingest_deferred(times_arr, scatter)
+                path = "deferred"
+            elif count >= self.min_fused:
+                steps = clock.step_targets(times_arr)
+                end_steps = int(steps[-1])
+                cleaned = clock.kernels.fuse_timespan(
+                    clock,
+                    timestamps,
+                    index_matrix.ravel(),
+                    np.repeat(steps, k),
+                    np.repeat(times_arr, k),
+                    end_steps,
+                    count_cleaned=_obs.ENABLED,
+                )
+                self._finish_fused(times_arr, end_steps, cleaned)
+                path = "fused"
+            else:
 
-            def apply_one(i, now):
-                row = index_matrix[i]
-                clock.touch(row)
-                for cell in row:
-                    if timestamps[cell] == 0.0:
-                        timestamps[cell] = now
+                def apply_one(i, now):
+                    row = index_matrix[i]
+                    clock.touch(row)
+                    for cell in row:
+                        if timestamps[cell] == 0.0:
+                            timestamps[cell] = now
 
-            self._ingest_loop(times_arr, apply_one)
-            path = "loop"
+                self._ingest_loop(times_arr, apply_one)
+                path = "loop"
+            if sp.recording:
+                sp.set("sketch", type(sketch).__name__)
+                sp.set("path", path)
+                sp.set("items", count)
         if _obs.ENABLED:
             self._record(count, path, started)
 
@@ -260,44 +272,49 @@ class BatchEngine:
         if self.tap is not None and items is not None:
             self.tap(items, times_arr)
         started = perf_counter() if _obs.ENABLED else 0.0
-        if clock.is_deferred and not sketch.conservative:
-            counter_max = sketch.counter_max
+        with _trace.child_span(_names.SPAN_ENGINE_BATCH) as sp:
+            if clock.is_deferred and not sketch.conservative:
+                counter_max = sketch.counter_max
 
-            def scatter(pos, end):
-                flats = flat_matrix[pos:end].ravel()
-                # uint32 counters cannot wrap at these chunk sizes;
-                # clamp only the touched cells back to the ceiling.
-                np.add.at(counters, flats, 1)
-                touched = np.unique(flats)
-                over = touched[counters[touched] > counter_max]
-                if over.size:
-                    counters[over] = counter_max
-                clock.touch(flats)
+                def scatter(pos, end):
+                    flats = flat_matrix[pos:end].ravel()
+                    # uint32 counters cannot wrap at these chunk sizes;
+                    # clamp only the touched cells back to the ceiling.
+                    np.add.at(counters, flats, 1)
+                    touched = np.unique(flats)
+                    over = touched[counters[touched] > counter_max]
+                    if over.size:
+                        counters[over] = counter_max
+                    clock.touch(flats)
 
-            self._ingest_deferred(times_arr, scatter)
-            path = "deferred"
-        elif not sketch.conservative and count >= self.min_fused:
-            steps = clock.step_targets(times_arr)
-            end_steps = int(steps[-1])
-            cleaned = clock.kernels.fuse_countmin(
-                clock,
-                counters,
-                sketch.counter_max,
-                flat_matrix.ravel(),
-                np.repeat(steps, flat_matrix.shape[1]),
-                end_steps,
-                count_cleaned=_obs.ENABLED,
-            )
-            self._finish_fused(times_arr, end_steps, cleaned)
-            path = "fused"
-        else:
+                self._ingest_deferred(times_arr, scatter)
+                path = "deferred"
+            elif not sketch.conservative and count >= self.min_fused:
+                steps = clock.step_targets(times_arr)
+                end_steps = int(steps[-1])
+                cleaned = clock.kernels.fuse_countmin(
+                    clock,
+                    counters,
+                    sketch.counter_max,
+                    flat_matrix.ravel(),
+                    np.repeat(steps, flat_matrix.shape[1]),
+                    end_steps,
+                    count_cleaned=_obs.ENABLED,
+                )
+                self._finish_fused(times_arr, end_steps, cleaned)
+                path = "fused"
+            else:
 
-            def apply_one(i, now):
-                row = flat_matrix[i]
-                sketch._bump(row)
-                clock.touch(row)
+                def apply_one(i, now):
+                    row = flat_matrix[i]
+                    sketch._bump(row)
+                    clock.touch(row)
 
-            self._ingest_loop(times_arr, apply_one)
-            path = "loop"
+                self._ingest_loop(times_arr, apply_one)
+                path = "loop"
+            if sp.recording:
+                sp.set("sketch", type(sketch).__name__)
+                sp.set("path", path)
+                sp.set("items", count)
         if _obs.ENABLED:
             self._record(count, path, started)

@@ -8,6 +8,25 @@ propagate unchanged.
 
 from __future__ import annotations
 
+import sys
+
+
+def _notify_flight(reason: str, error: BaseException) -> None:
+    """Tell the flight recorder (if armed) that a crash-class error exists.
+
+    Looked up through ``sys.modules`` so that merely raising an
+    exception never imports the observability plane; the hook fires
+    only when ``repro.obs.flight`` is already loaded and installed.
+    Best-effort by contract — it must never mask the error being built.
+    """
+    flight = sys.modules.get("repro.obs.flight")
+    if flight is None:
+        return
+    try:
+        flight.notify_crash(reason, error)
+    except Exception:
+        pass
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -58,6 +77,10 @@ class ShardBackpressureError(ShardError):
     enqueued has not been applied anywhere.
     """
 
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        _notify_flight("shard-backpressure", self)
+
 
 class ShardWorkerError(ShardError):
     """A shard worker failed or died mid-stream.
@@ -72,3 +95,4 @@ class ShardWorkerError(ShardError):
         super().__init__(message)
         self.failed = dict(failed or {})
         self.pending = dict(pending or {})
+        _notify_flight("shard-worker", self)

@@ -32,7 +32,9 @@ from .core import (
     ClockTimeSpanSketch,
 )
 from .errors import ConfigurationError
+from .obs import names as _names
 from .obs import runtime as _obs
+from .obs import trace as _trace
 from .timebase import WindowSpec
 from .units import parse_memory
 
@@ -242,11 +244,15 @@ class ItemBatchMonitor:
         (the batch engine is bit-identical to the scalar path), but
         hashes each key once and applies the updates vectorized.
         """
-        for sketch in self._sketches:
-            sketch.insert_many(keys, times)
-        auditor = self._auditor
-        if auditor is not None and auditor.due:
-            auditor.audit()
+        with _trace.span(_names.SPAN_MONITOR_OBSERVE) as sp:
+            if sp.recording:
+                sp.set("items", len(keys) if hasattr(keys, "__len__") else -1)
+                sp.set("sketches", len(self._sketches))
+            for sketch in self._sketches:
+                sketch.insert_many(keys, times)
+            auditor = self._auditor
+            if auditor is not None and auditor.due:
+                auditor.audit()
 
     def observe_stream(self, stream) -> None:
         """Feed a whole :class:`~repro.streams.Stream` (bulk paths)."""

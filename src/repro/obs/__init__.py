@@ -19,6 +19,14 @@ A low-overhead observability layer for the clock-sketch stack:
   lazily): shadow-truth sampling, analytic error prediction, and
   drift alerts — entry point ``ItemBatchMonitor.audited()`` or
   ``python -m repro.obs audit --demo``;
+- sampled end-to-end span tracing (:mod:`repro.obs.trace`, imported
+  lazily): context-managed spans threaded monitor → engine → shard
+  workers, stitched across processes, exportable as Chrome
+  trace-event JSON — ``python -m repro.obs trace --demo``;
+- a crash flight recorder (:mod:`repro.obs.flight`, imported lazily):
+  JSON bundles of the last-N spans, both rings, and a full metrics
+  snapshot cut automatically on shard-worker / backpressure /
+  sanitizer errors;
 - an optional stdlib HTTP endpoint (:class:`MetricsServer`, imported
   lazily — see :mod:`repro.obs.http`) and a CLI
   (``python -m repro.obs``).
@@ -106,6 +114,8 @@ __all__ = [
     # lazy
     "MetricsServer",
     "audit",
+    "trace",
+    "flight",
 ]
 
 
@@ -113,11 +123,13 @@ def __getattr__(name: str) -> Any:
     # MetricsServer pulls in http.server, and the audit plane pulls in
     # the monitor/analysis stack; load either only on first use so
     # importing repro.obs (which every instrumented module does) stays
-    # cheap.
+    # cheap. Submodules load through importlib, not ``from . import``:
+    # the latter re-enters this __getattr__ via its hasattr check and
+    # recurses.
     if name == "MetricsServer":
         from .http import MetricsServer
         return MetricsServer
-    if name == "audit":
-        from . import audit
-        return audit
+    if name in ("audit", "trace", "flight"):
+        import importlib
+        return importlib.import_module(f"{__name__}.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,6 +18,17 @@ observed-vs-predicted error table::
     python -m repro.obs audit --demo
     python -m repro.obs audit --demo --undersized   # trips drift alerts
     python -m repro.obs audit --watch               # live redrawn view
+
+The ``trace`` subcommand drives the same stream with span tracing on
+(optionally sharded) and tails the span ring, exports a Perfetto-loadable
+Chrome trace, or reads those back out of a flight-recorder bundle::
+
+    python -m repro.obs trace --demo --tail 20
+    python -m repro.obs trace --demo --shards 4 --router process \\
+        --chrome trace.json
+    python -m repro.obs trace --demo --crash --router process --shards 4
+    python -m repro.obs trace --input flightdumps/flight-....json \\
+        --chrome trace.json
 """
 
 from __future__ import annotations
@@ -95,6 +106,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print every audit cycle as it completes")
     audit.add_argument("--watch", action="store_true",
                        help="redraw a live view per cycle (implies --demo)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="drive a traced stream; tail spans or export a Chrome trace",
+        description="Run a span-traced ItemBatchMonitor (optionally "
+                    "sharded) and print the span ring, export it as a "
+                    "Chrome trace-event file, or re-export spans from a "
+                    "flight-recorder bundle.",
+    )
+    trace.add_argument("--items", type=int, default=100_000,
+                       help="stream length (default 100000)")
+    trace.add_argument("--window", type=int, default=4096,
+                       help="count window T in items (default 4096)")
+    trace.add_argument("--memory", default="64KB",
+                       help="monitor memory budget (default 64KB)")
+    trace.add_argument("--chunk", type=int, default=4096,
+                       help="insert_many chunk size (default 4096)")
+    trace.add_argument("--dataset", default="caida",
+                       choices=("caida", "criteo", "network"),
+                       help="synthetic trace to replay (default caida)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--shards", type=int, default=1,
+                       help="shard the activeness sketch P ways (default 1)")
+    trace.add_argument("--router", default="serial",
+                       choices=("serial", "process"),
+                       help="shard router for --shards > 1 (default serial)")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="record 1 in N traces (default 1 = all)")
+    trace.add_argument("--capacity", type=int, default=2048,
+                       help="span ring capacity (default 2048)")
+    trace.add_argument("--tail", type=int, default=10,
+                       help="print the last N spans (default 10; 0 = none)")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="write a Chrome trace-event (Perfetto) file")
+    trace.add_argument("--input", metavar="PATH", default=None,
+                       help="read spans from a flight bundle instead of "
+                            "driving a stream")
+    trace.add_argument("--crash", action="store_true",
+                       help="inject a worker crash (needs --router "
+                            "process) and cut a flight bundle")
+    trace.add_argument("--flight-dir", default=None,
+                       help="flight-recorder dump directory "
+                            "(default: $REPRO_FLIGHT_DIR or flightdumps)")
+    trace.add_argument("--demo", action="store_true",
+                       help="drive the synthetic stream (the default "
+                            "action when --input is not given)")
     return parser
 
 
@@ -166,10 +223,107 @@ def run_audit(args) -> int:
     return 0
 
 
+def _print_span_tail(spans, tail: int) -> None:
+    if tail <= 0 or not spans:
+        return
+    print(f"last {min(tail, len(spans))} of {len(spans)} spans:")
+    for span in spans[-tail:]:
+        parent = span.get("parent_id") or "-"
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        print(f"  {span.get('duration', 0.0) * 1e3:9.3f}ms "
+              f"{span.get('name', '?'):<22} trace={span.get('trace_id')} "
+              f"span={span.get('span_id')} parent={parent} "
+              f"[{span.get('status', 'ok')}] {attr_text}")
+
+
+def _export_chrome(spans, path: str) -> None:
+    import json
+
+    from . import trace as trace_mod
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_mod.chrome_trace(spans), fh, indent=2, default=str)
+    print(f"wrote Chrome trace ({len(spans)} spans) to {path} "
+          "— load it at ui.perfetto.dev")
+
+
+def run_trace(args) -> int:
+    import json
+
+    from . import flight
+    from . import trace as trace_mod
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as fh:
+            bundle = json.load(fh)
+        spans = bundle.get("trace", {}).get("spans", [])
+        reason = bundle.get("reason", "?")
+        error = bundle.get("error") or {}
+        print(f"flight bundle: reason={reason} "
+              f"error={error.get('type', '-')} pid={bundle.get('pid')}")
+        _print_span_tail(spans, args.tail)
+        if args.chrome:
+            _export_chrome(spans, args.chrome)
+        return 0
+
+    from ..datasets import get_dataset
+
+    runtime.enable(fresh=True)
+    trace_mod.configure(capacity=args.capacity,
+                        sample_every=args.sample_every)
+    flight.install(args.flight_dir)
+    if args.shards > 1:
+        monitor = ItemBatchMonitor.sharded(
+            count_window(args.window), memory=args.memory, seed=args.seed,
+            shards=args.shards, router=args.router)
+    else:
+        monitor = ItemBatchMonitor(count_window(args.window),
+                                   memory=args.memory, seed=args.seed)
+    stream = get_dataset(args.dataset, n_items=args.items,
+                         window_hint=args.window, seed=args.seed)
+    keys = stream.keys
+    try:
+        for pos in range(0, len(keys), max(1, args.chunk)):
+            monitor.observe_many(keys[pos:pos + args.chunk])
+        if args.crash:
+            if args.router != "process" or args.shards < 2:
+                print("--crash needs --router process and --shards >= 2",
+                      file=sys.stderr)
+                return 2
+            router = monitor._sketches[0].router
+            router.inject(0, "crash")
+            try:
+                router.drain()
+            except Exception as exc:
+                print(f"injected crash surfaced as "
+                      f"{type(exc).__name__}: {exc}")
+    finally:
+        monitor.close()
+    if args.crash:
+        path = flight.last_dump_path()
+        if path is None:
+            print("no flight bundle was written", file=sys.stderr)
+            return 1
+        print(f"flight bundle: {path}")
+    snapshot = trace_mod.snapshot()
+    spans = snapshot["spans"]
+    print(f"span ring: {len(spans)} held / "
+          f"{snapshot['total_pushed']} pushed "
+          f"(capacity {snapshot['capacity']}, "
+          f"sample_every {snapshot['sample_every']})")
+    _print_span_tail(spans, args.tail)
+    if args.chrome:
+        _export_chrome(spans, args.chrome)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "audit":
         return run_audit(args)
+    if getattr(args, "command", None) == "trace":
+        return run_trace(args)
 
     # Import lazily: the dataset synthesizers pull in the heavier parts
     # of the library, which pure exposition users never need.

@@ -17,8 +17,9 @@ after the ring has wrapped. The ring itself is exported through
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -83,6 +84,12 @@ class EventRing:
     counting, and read-back is chronological. Events are irregular and
     orders of magnitude rarer than sweeps, so entries are stored as the
     :class:`ObsEvent` objects themselves rather than parallel columns.
+
+    Unlike the single-writer sweep ring, events can arrive from many
+    threads at once (auditor thread, lock waiters, flight recorder), so
+    pushes are serialised under a lock and each entry carries a
+    monotonic sequence number assigned at push time — lost or torn
+    records would show up as gaps or inversions in the read-back.
     """
 
     def __init__(self, capacity: int = 256):
@@ -91,16 +98,19 @@ class EventRing:
                 f"ring capacity must be >= 1, got {capacity}"
             )
         self.capacity = int(capacity)
-        self._entries: "List[Optional[ObsEvent]]" = [None] * self.capacity
+        self._entries: "List[Optional[Tuple[int, ObsEvent]]]" = \
+            [None] * self.capacity
         self._next = 0
         self._total = 0
+        self._lock = threading.Lock()
 
     def push(self, event: ObsEvent) -> None:
         """Record one event, overwriting the oldest when full."""
-        i = self._next
-        self._entries[i] = event
-        self._next = (i + 1) % self.capacity
-        self._total += 1
+        with self._lock:
+            i = self._next
+            self._entries[i] = (self._total, event)
+            self._next = (i + 1) % self.capacity
+            self._total += 1
 
     def __len__(self) -> int:
         """Events currently held (≤ capacity)."""
@@ -111,30 +121,37 @@ class EventRing:
         """Events ever pushed, including those already overwritten."""
         return self._total
 
-    def _order(self) -> "List[int]":
-        size = len(self)
-        if self._total <= self.capacity:
-            return list(range(size))
-        return [(i + self._next) % self.capacity for i in range(size)]
+    def _snapshot(self) -> "List[Tuple[int, ObsEvent]]":
+        with self._lock:
+            size = min(self._total, self.capacity)
+            if self._total <= self.capacity:
+                order = range(size)
+            else:
+                order = ((i + self._next) % self.capacity
+                         for i in range(size))
+            return [entry for i in order
+                    if (entry := self._entries[i]) is not None]
 
     def events(self) -> "List[ObsEvent]":
         """Chronological list of the held events."""
-        out: "List[ObsEvent]" = []
-        for i in self._order():
-            entry = self._entries[i]
-            if entry is not None:
-                out.append(entry)
-        return out
+        return [event for _seq, event in self._snapshot()]
 
     def dicts(self) -> "List[Dict[str, Any]]":
-        """Chronological events as JSON-friendly dicts."""
-        return [event.as_dict() for event in self.events()]
+        """Chronological events as JSON-friendly dicts, each carrying
+        its push-time ``seq`` number."""
+        out: "List[Dict[str, Any]]" = []
+        for seq, event in self._snapshot():
+            d = event.as_dict()
+            d["seq"] = seq
+            out.append(d)
+        return out
 
     def clear(self) -> None:
         """Drop all events (buffer stays allocated)."""
-        self._entries = [None] * self.capacity
-        self._next = 0
-        self._total = 0
+        with self._lock:
+            self._entries = [None] * self.capacity
+            self._next = 0
+            self._total = 0
 
     def __repr__(self) -> str:
         return (

@@ -40,6 +40,24 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
+def _unescape_help(text: str) -> str:
+    # A left-to-right scan, not chained str.replace: replacing ``\n``
+    # first would corrupt help text containing a literal backslash
+    # followed by ``n`` (escaped as ``\\n``), and replacing ``\\``
+    # first would manufacture a fresh ``\n`` escape out of ``\\\n``.
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            out.append({"n": "\n", "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
 def _escape_label_value(text: str) -> str:
     return (
         text.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
@@ -151,7 +169,7 @@ def parse_prometheus(text: str) -> "Dict[str, Dict[str, Any]]":
             entry = families.setdefault(
                 name, {"type": "untyped", "help": "", "samples": []}
             )
-            entry["help"] = help_text.replace(r"\n", "\n").replace(r"\\", "\\")
+            entry["help"] = _unescape_help(help_text)
         elif line.startswith("# TYPE "):
             _, _, rest = line.partition("# TYPE ")
             name, _, kind = rest.partition(" ")

@@ -2,9 +2,18 @@
 
 :class:`MetricsServer` serves the live registry at ``/metrics``
 (Prometheus text) and ``/metrics.json`` (JSON snapshot) from a daemon
-thread — no third-party dependency, no framework. Intended for local
-scraping and the ``examples/metrics_endpoint.py`` snippet; it is not a
-hardened production server.
+thread — no third-party dependency, no framework — plus three
+operational endpoints:
+
+- ``/healthz`` — liveness: ``{"status": "ok", "uptime_seconds": ...}``;
+- ``/statusz`` — one JSON page of process vitals (uptime, registry
+  size, ring fill, tracer state, last flight-recorder dump path);
+- ``/trace.json`` — the live span ring
+  (:func:`repro.obs.trace.snapshot`); ``?format=chrome`` renders it as
+  a Chrome trace-event document loadable in Perfetto.
+
+Intended for local scraping and the ``examples/metrics_endpoint.py``
+snippet; it is not a hardened production server.
 
 Kept out of ``repro.obs``'s module-level imports so the hot path never
 pays for ``http.server``.
@@ -12,33 +21,55 @@ pays for ``http.server``.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Optional
+from time import monotonic
+from typing import Any, Callable, Dict, Optional
 
 from .export import prometheus_text, snapshot_json
 from . import runtime
+from . import trace as _trace
 
 __all__ = ["MetricsServer"]
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
-    # The registry provider is attached to the server instance by
-    # MetricsServer (handlers are re-created per request).
+    # The owning MetricsServer is attached to the server instance by
+    # MetricsServer.start() (handlers are re-created per request).
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-        provider: "Callable[[], Any]" = self.server.registry_provider  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path, _, query = self.path.partition("?")
         if path == "/metrics":
-            body = prometheus_text(provider()).encode("utf-8")
+            body = prometheus_text(owner.registry()).encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
         elif path == "/metrics.json":
             body = snapshot_json(
-                provider(), rings=runtime.rings_snapshot()
+                owner.registry(), rings=runtime.rings_snapshot()
             ).encode("utf-8")
             content_type = "application/json; charset=utf-8"
+        elif path == "/trace.json":
+            if "format=chrome" in query:
+                payload: "Dict[str, Any]" = _trace.chrome_trace()
+            else:
+                payload = _trace.snapshot()
+            body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        elif path == "/healthz":
+            body = json.dumps({
+                "status": "ok",
+                "uptime_seconds": owner.uptime_seconds(),
+            }).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        elif path == "/statusz":
+            body = json.dumps(owner.status(), indent=2,
+                              default=str).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         else:
-            self.send_error(404, "try /metrics or /metrics.json")
+            self.send_error(
+                404, "try /metrics, /metrics.json, /trace.json, "
+                     "/healthz or /statusz")
             return
         self.send_response(200)
         self.send_header("Content-Type", content_type)
@@ -81,6 +112,7 @@ class MetricsServer:
         self._provider = registry_provider or runtime.registry
         self._server: "Optional[ThreadingHTTPServer]" = None
         self._thread: "Optional[threading.Thread]" = None
+        self._started_at: "Optional[float]" = None
 
     @property
     def port(self) -> int:
@@ -93,6 +125,42 @@ class MetricsServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
 
+    def registry(self) -> Any:
+        """The registry currently being exposed."""
+        return self._provider()
+
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start`; 0.0 while stopped."""
+        if self._started_at is None:
+            return 0.0
+        return monotonic() - self._started_at
+
+    def status(self) -> "Dict[str, Any]":
+        """The ``/statusz`` payload: uptime, registry and ring vitals."""
+        reg = self.registry()
+        sweep = runtime.sweep_ring()
+        events = runtime.event_ring()
+        tracer = _trace.tracer()
+        from . import flight
+        return {
+            "status": "ok",
+            "uptime_seconds": self.uptime_seconds(),
+            "obs_enabled": runtime.ENABLED,
+            "registry_series": len(reg),
+            "rings": {
+                "sweep": {"held": len(sweep), "capacity": sweep.capacity,
+                          "total_pushed": sweep.total_pushed},
+                "events": {"held": len(events), "capacity": events.capacity,
+                           "total_pushed": events.total_pushed},
+                "spans": {"held": len(tracer.ring),
+                          "capacity": tracer.ring.capacity,
+                          "total_pushed": tracer.ring.total_pushed},
+            },
+            "trace_sample_every": tracer.sample_every,
+            "flight_recorder_installed": flight.recorder() is not None,
+            "last_flight_dump": flight.last_dump_path(),
+        }
+
     def start(self) -> "MetricsServer":
         """Bind and serve from a daemon thread; returns self."""
         if self._server is not None:
@@ -101,8 +169,9 @@ class MetricsServer:
             (self.host, self._requested_port), _MetricsHandler
         )
         server.daemon_threads = True
-        server.registry_provider = self._provider  # type: ignore[attr-defined]
+        server.owner = self  # type: ignore[attr-defined]
         self._server = server
+        self._started_at = monotonic()
         self._thread = threading.Thread(
             target=server.serve_forever, name="repro-obs-metrics", daemon=True
         )
@@ -119,6 +188,7 @@ class MetricsServer:
             self._thread.join(timeout=5.0)
         self._server = None
         self._thread = None
+        self._started_at = None
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -67,6 +67,19 @@ __all__ = [
     "SHARD_MERGE_SECONDS",
     # structured event log
     "OBS_EVENTS_TOTAL",
+    # span tracing / flight recorder
+    "TRACE_SPANS_TOTAL",
+    "TRACE_TRACES_TOTAL",
+    "FLIGHT_DUMPS_TOTAL",
+    # span names (repro.obs.trace)
+    "SPAN_MONITOR_OBSERVE",
+    "SPAN_ENGINE_BATCH",
+    "SPAN_LOCK_WAIT",
+    "SPAN_SHARD_SCATTER",
+    "SPAN_SHARD_INGEST",
+    "SPAN_SHARD_ADVANCE",
+    "SPAN_SHARD_MERGE",
+    "SPAN_SHARD_ACK",
 ]
 
 # ---------------------------------------------------------------------- clock
@@ -172,3 +185,34 @@ SHARD_MERGE_SECONDS = "repro_shard_merge_seconds"
 # --------------------------------------------------------------------- events
 #: Structured observability events recorded, labelled ``{severity, kind}``.
 OBS_EVENTS_TOTAL = "repro_obs_events_total"
+
+# ---------------------------------------------------------------------- trace
+#: Spans finished into the span ring, labelled by span ``{name}``.
+TRACE_SPANS_TOTAL = "repro_trace_spans_total"
+#: Sampled root spans started (one per recorded trace).
+TRACE_TRACES_TOTAL = "repro_trace_traces_total"
+#: Flight-recorder bundles written, labelled by ``{reason}``.
+FLIGHT_DUMPS_TOTAL = "repro_flight_dumps_total"
+
+# ----------------------------------------------------------- span vocabulary
+# Span names are part of the same operational contract as metric names:
+# trace viewers and the flight-dump tooling match on them, so they live
+# here once and instrumentation imports the constant (mirroring SK106's
+# discipline for metric names).
+#: Root span over one ``ItemBatchMonitor.observe_many`` batch.
+SPAN_MONITOR_OBSERVE = "monitor.observe_many"
+#: One batch applied by the engine (attrs: sketch, path, items).
+SPAN_ENGINE_BATCH = "engine.batch"
+#: A contended blocking lock acquisition in ``ThreadSafeSketch``.
+SPAN_LOCK_WAIT = "lock.wait"
+#: The sharded facade's fan-out over the shard router (attrs: items,
+#: shards); its context rides the command queue to the workers.
+SPAN_SHARD_SCATTER = "shard.scatter"
+#: One ``ingest`` command applied by a shard worker (attrs: shard, items).
+SPAN_SHARD_INGEST = "shard.ingest"
+#: One ``advance`` (barrier) command applied by a shard worker.
+SPAN_SHARD_ADVANCE = "shard.advance"
+#: The parent-side merged-snapshot build (barrier + union).
+SPAN_SHARD_MERGE = "shard.merge"
+#: The parent-side wait for every dispatched command's acknowledgement.
+SPAN_SHARD_ACK = "shard.ack"

@@ -27,7 +27,7 @@ from __future__ import annotations
 import functools
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -46,6 +46,7 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    "register_reset_hook",
     "observed",
     "registry",
     "sweep_ring",
@@ -85,6 +86,17 @@ _EVENTS: EventRing = EventRing(1)
 #: start handing out different objects.
 _SERIES: "Dict[Any, Any]" = {}
 
+#: Callbacks run whenever ``enable(fresh=True)`` rebuilds the rings, so
+#: satellite stores (e.g. the span ring in :mod:`repro.obs.trace`) can
+#: start from empty too. Registered lazily to keep this module free of
+#: imports of its dependents.
+_RESET_HOOKS: "List[Callable[[], None]]" = []
+
+
+def register_reset_hook(hook: "Callable[[], None]") -> None:
+    """Run ``hook`` whenever a fresh enable rebuilds the rings."""
+    _RESET_HOOKS.append(hook)
+
 
 def enable(ring_capacity: int = DEFAULT_RING_CAPACITY,
            fresh: bool = True,
@@ -100,6 +112,8 @@ def enable(ring_capacity: int = DEFAULT_RING_CAPACITY,
         _REGISTRY = MetricsRegistry()
         _RING = SweepTraceRing(ring_capacity)
         _EVENTS = EventRing(event_capacity)
+        for hook in _RESET_HOOKS:
+            hook()
     _SERIES.clear()
     ENABLED = True
     assert isinstance(_REGISTRY, MetricsRegistry)

@@ -504,7 +504,8 @@ def _obs_aliases(mod: ModuleInfo) -> Set[str]:
     aliases = set()
     for local, target in mod.imports.items():
         if target == "repro.obs" or target.endswith(".obs") \
-                or target.endswith("obs.runtime"):
+                or target.endswith("obs.runtime") \
+                or target.endswith("obs.trace"):
             aliases.add(local)
     return aliases
 

@@ -43,7 +43,7 @@ from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import ReproError, _notify_flight
 
 __all__ = [
     "SanitizerError",
@@ -60,6 +60,10 @@ __all__ = [
 
 class SanitizerError(ReproError, AssertionError):
     """A sketch invariant was violated at runtime."""
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        _notify_flight("sanitizer", self)
 
 
 #: Environment variable gating the pytest-wide sanitizer.

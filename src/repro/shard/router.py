@@ -38,7 +38,9 @@ from ..core.base import ClockSketchBase
 from ..core import ClockBitmap, ClockBloomFilter, ClockCountMin, ClockTimeSpanSketch
 from ..errors import ConfigurationError
 from ..hashing import ShardSelector
+from ..obs import names as _names
 from ..obs import runtime as _obs
+from ..obs import trace as _trace
 from ..serialize import dumps_sketch, loads_sketch
 from .workers import DEFAULT_QUEUE_CAPACITY, DEFAULT_TIMEOUT, ProcessShardRouter
 
@@ -74,10 +76,14 @@ class SerialShardRouter:
         for replica in self.replicas:
             replica._accepts_global_times = True
 
-    def ingest(self, shard: int, items: Any, times: np.ndarray) -> None:
+    def ingest(self, shard: int, items: Any, times: np.ndarray,
+               ctx: Any = None) -> None:
+        # ``ctx`` (a propagated span context) is part of the router
+        # protocol but unused here: inline execution means the replica's
+        # engine spans already parent naturally under the caller's span.
         self.replicas[shard].insert_many(items, times)
 
-    def barrier(self, now: float) -> None:
+    def barrier(self, now: float, ctx: Any = None) -> None:
         """Synchronise every replica's cleaner to the query time.
 
         With more than one shard the deferred sweep backlogs are also
@@ -208,13 +214,17 @@ class ShardedSketch(ClockSketchBase):
         times_arr = self._insert_times_many(count, times)
         if not count:
             return
-        shard_ids = self.selector.shards_of(items)
-        for shard, sub_items, sub_times in self.kernels.scatter_by_shard(
-                items, times_arr, shard_ids):
-            self.router.ingest(shard, sub_items, sub_times)
-            if _obs.ENABLED:
-                _obs.record_shard_route(shard, int(sub_times.shape[0]),
-                                        self.router.queue_depth(shard))
+        with _trace.span(_names.SPAN_SHARD_SCATTER) as sp:
+            if sp.recording:
+                sp.set("items", count)
+                sp.set("shards", self.shards)
+            shard_ids = self.selector.shards_of(items)
+            for shard, sub_items, sub_times in self.kernels.scatter_by_shard(
+                    items, times_arr, shard_ids):
+                self.router.ingest(shard, sub_items, sub_times, ctx=sp.ctx)
+                if _obs.ENABLED:
+                    _obs.record_shard_route(shard, int(sub_times.shape[0]),
+                                            self.router.queue_depth(shard))
         self._items_inserted += count
         self._now = float(times_arr[-1])
         self._dirty = True
@@ -239,11 +249,16 @@ class ShardedSketch(ClockSketchBase):
         if cache is not None and not self._dirty and cache.now == now:
             return cache
         started = perf_counter()
-        self.router.barrier(now)
-        replicas = self.router.replicas
-        view = replicas[0].snapshot()
-        for other in replicas[1:]:
-            view.merge(other)
+        with _trace.span(_names.SPAN_SHARD_MERGE) as sp:
+            if sp.recording:
+                sp.set("shards", self.shards)
+            self.router.barrier(now, ctx=sp.ctx)
+            replicas = self.router.replicas
+            view = replicas[0].snapshot()
+            for other in replicas[1:]:
+                view.merge(other)
+            if sp.recording:
+                sp.set("kind", type(view).__name__)
         view._now = float(now)
         view._items_inserted = self._items_inserted
         if _obs.ENABLED:

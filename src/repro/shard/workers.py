@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import queue as queue_mod
 import time
+from contextlib import nullcontext
 from multiprocessing import get_context
 from multiprocessing import shared_memory
 from typing import Any, NamedTuple
@@ -31,6 +32,9 @@ from typing import Any, NamedTuple
 import numpy as np
 
 from ..errors import ShardBackpressureError, ShardWorkerError
+from ..obs import names
+from ..obs import runtime as _obs
+from ..obs import trace as _trace
 from ..serialize import dumps_sketch, loads_sketch
 
 __all__ = ["ProcessShardRouter", "shared_layout"]
@@ -139,16 +143,36 @@ def _read_control(buf: Any) -> "tuple[int, int, float]":
     return int(ints[0]), int(ints[1]), float(now[0])
 
 
+def _command_ctx(op: str, command: "tuple[Any, ...]") -> Any:
+    """The propagated span context riding on a command, if any.
+
+    Only ingest/advance carry one (as their last element); older-style
+    short tuples and the test-only fault hooks yield None.
+    """
+    if op == "ingest" and len(command) > 4:
+        return command[4]
+    if op == "advance" and len(command) > 4:
+        return command[4]
+    return None
+
+
 def _shard_worker(shard: int, payload: bytes, shm_name: str,
                   layout: SharedLayout, commands: Any, acks: Any) -> None:
     """One shard's worker loop: rebuild the replica, drain commands.
 
-    Command protocol (tuples): ``("ingest", seq, items, times)``,
-    ``("advance", seq, now, flush)``, ``("stop", seq)``, plus the
+    Command protocol (tuples): ``("ingest", seq, items, times, ctx)``,
+    ``("advance", seq, now, flush, ctx)``, ``("stop", seq)``, plus the
     test-only fault hooks ``("stall", seq, seconds)`` and
     ``("crash", seq)``. Every command is acknowledged as
-    ``(shard, seq, status, detail)``; an exception acknowledges with
-    ``status="error"`` and ends the worker.
+    ``(shard, seq, status, detail, spans)``; an exception acknowledges
+    with ``status="error"`` and ends the worker.
+
+    ``ctx`` is an optional propagated span context ``(trace_id,
+    span_id)`` from the parent's scatter/merge span. When present, the
+    command's handling runs under :func:`repro.obs.trace.capture`, so
+    the worker's ingest/advance spans — recorded regardless of this
+    process's switchboard — ride back in the ack's ``spans`` payload
+    and get stitched into the parent's trace.
     """
     # Attaching re-registers the segment with the (shared, inherited)
     # resource tracker; that is a set-add no-op, and the parent — the
@@ -172,32 +196,43 @@ def _shard_worker(shard: int, payload: bytes, shm_name: str,
         command = commands.get()
         op, seq = command[0], command[1]
         status, detail = "ok", ""
+        spans: "list[dict[str, Any]]" = []
+        ctx = _command_ctx(op, command)
+        capture = (_trace.capture(ctx, spans) if ctx is not None
+                   else nullcontext(spans))
         try:
-            if op == "ingest":
-                sketch.insert_many(command[2], command[3])
-            elif op == "advance":
-                now, flush = float(command[2]), bool(command[3])
-                clock = sketch.clock
-                if now > clock.now:
-                    clock.advance(now)
-                if flush and clock.is_deferred:
-                    clock.flush()
-                if now > sketch._now:
-                    sketch._now = now
-            elif op == "stall":
-                time.sleep(float(command[2]))
-            elif op == "crash":
-                raise RuntimeError("injected worker crash")
-            elif op == "stop":
-                running = False
-            else:
-                raise ValueError(f"unknown shard command {op!r}")
+            with capture:
+                if op == "ingest":
+                    with _trace.span(names.SPAN_SHARD_INGEST,
+                                     shard=str(shard)) as sp:
+                        sketch.insert_many(command[2], command[3])
+                        if sp.recording:
+                            sp.set("items", len(command[2]))
+                elif op == "advance":
+                    with _trace.span(names.SPAN_SHARD_ADVANCE,
+                                     shard=str(shard)):
+                        now, flush = float(command[2]), bool(command[3])
+                        clock = sketch.clock
+                        if now > clock.now:
+                            clock.advance(now)
+                        if flush and clock.is_deferred:
+                            clock.flush()
+                        if now > sketch._now:
+                            sketch._now = now
+                elif op == "stall":
+                    time.sleep(float(command[2]))
+                elif op == "crash":
+                    raise RuntimeError("injected worker crash")
+                elif op == "stop":
+                    running = False
+                else:
+                    raise ValueError(f"unknown shard command {op!r}")
         except BaseException as exc:  # surface, acknowledge, stop
             status = "error"
             detail = f"{type(exc).__name__}: {exc}"
             running = False
         _write_control(shm.buf, sketch)
-        acks.put((shard, seq, status, detail))
+        acks.put((shard, seq, status, detail, spans))
     del sketch  # drop the replica's views over the shared block first
     _close_shm(shm)
 
@@ -294,7 +329,9 @@ class ProcessShardRouter:
             except queue_mod.Empty:
                 return got
             got = True
-            shard, seq, status, detail = ack
+            shard, seq, status, detail, spans = ack
+            if spans and _obs.ENABLED:
+                _trace.record_spans(spans)
             try:
                 self._pending[shard].remove(seq)
             except ValueError:
@@ -337,10 +374,15 @@ class ProcessShardRouter:
         self._pending[shard].append(seq)
         self._absorb_acks()
 
-    def ingest(self, shard: int, items: Any, times: np.ndarray) -> None:
-        """Queue one sub-batch for a shard's worker."""
-        self._dispatch(shard, ("ingest", items, np.asarray(times,
-                                                           dtype=np.float64)))
+    def ingest(self, shard: int, items: Any, times: np.ndarray,
+               ctx: Any = None) -> None:
+        """Queue one sub-batch for a shard's worker.
+
+        ``ctx`` is an optional span context to propagate; the worker's
+        ingest span comes back on the ack and joins the parent's trace.
+        """
+        self._dispatch(shard, ("ingest", items,
+                               np.asarray(times, dtype=np.float64), ctx))
 
     def inject(self, shard: int, op: str, *payload: Any) -> None:
         """Send a raw protocol command (test hooks: ``stall``/``crash``)."""
@@ -376,12 +418,13 @@ class ProcessShardRouter:
         if self._failed:
             self._raise_failed()
 
-    def barrier(self, now: float) -> None:
+    def barrier(self, now: float, ctx: Any = None) -> None:
         """Advance every shard to ``now``, wait, adopt worker positions."""
         flush = len(self.replicas) > 1
         for shard in range(len(self.replicas)):
-            self._dispatch(shard, ("advance", float(now), flush))
-        self.drain()
+            self._dispatch(shard, ("advance", float(now), flush, ctx))
+        with _trace.span(names.SPAN_SHARD_ACK):
+            self.drain()
         self._sync_replicas()
 
     def _sync_replicas(self) -> None:

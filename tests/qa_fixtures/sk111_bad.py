@@ -1,6 +1,7 @@
 """SK111 corpus: unguarded enabled-mode instrumentation on hot paths."""
 
 from ..obs import runtime as _obs
+from ..obs import trace as _trace
 
 
 def insert_many(sketch, items):
@@ -20,3 +21,11 @@ def _publish(count):
     # BAD transitively: unguarded helper reached from query_many.
     _obs.record_event(time=0.0, severity="info", kind="query",
                       message=f"{count} keys", fields={})
+
+
+def absorb_acks(acks):
+    for _shard, _seq, _status, _detail, spans in acks:
+        # BAD: adopting worker spans is a recorder call too — it pushes
+        # into the span ring and bumps counters without checking the
+        # switchboard first.
+        _trace.record_spans(spans)

@@ -1,10 +1,14 @@
 """SK111 corpus, clean: every recorder call behind the switchboard."""
 
 from ..obs import runtime as _obs
+from ..obs import trace as _trace
 
 
 def insert_many(sketch, items):
-    sketch.apply(items)
+    # Span entry/exit self-gates on the switchboard (disabled mode
+    # returns NULL_SPAN), so span() needs no guard here.
+    with _trace.span("fixture.insert"):
+        sketch.apply(items)
     if _obs.ENABLED:
         _obs.record_batch(type(sketch).__name__, len(items), "loop", 0.0)
 
@@ -20,6 +24,12 @@ def _publish(count):
     # Unguarded itself, but only reachable through guarded call sites.
     _obs.record_event(time=0.0, severity="info", kind="query",
                       message=f"{count} keys", fields={})
+
+
+def absorb_acks(acks):
+    for _shard, _seq, _status, _detail, spans in acks:
+        if spans and _obs.ENABLED:
+            _trace.record_spans(spans)
 
 
 def audit_cycle(report):

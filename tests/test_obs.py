@@ -5,6 +5,7 @@ Every test that enables instrumentation restores the disabled default
 """
 
 import json
+import threading
 import urllib.request
 
 import numpy as np
@@ -193,6 +194,58 @@ class TestSweepTraceRing:
         assert "held=0" in repr(ring)
 
 
+class TestEventRingConcurrency:
+    def test_sequence_numbers_are_assigned_in_push_order(self):
+        ring = obs.EventRing(capacity=4)
+        for i in range(7):
+            ring.push(obs.ObsEvent(time=float(i), severity="info",
+                                   kind="seq", message=str(i)))
+        dicts = ring.dicts()
+        # After wrapping, the survivors are the most recent four, in
+        # order, and each carries its global push index.
+        assert [d["seq"] for d in dicts] == [3, 4, 5, 6]
+        assert [d["message"] for d in dicts] == ["3", "4", "5", "6"]
+        assert ring.total_pushed == 7
+
+    def test_concurrent_writers_lose_and_tear_nothing(self):
+        writers, per_writer = 8, 500
+        ring = obs.EventRing(capacity=64)
+        start = threading.Barrier(writers)
+
+        def hammer(wid: int) -> None:
+            start.wait()
+            for i in range(per_writer):
+                ring.push(obs.ObsEvent(
+                    time=float(i), severity="info", kind=f"w{wid}",
+                    message=f"{wid}:{i}", fields={"wid": wid, "i": i}))
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # No push was lost: the global counter saw every one.
+        assert ring.total_pushed == writers * per_writer
+        assert len(ring) == 64
+        dicts = ring.dicts()
+        # Sequence numbers are unique, strictly increasing, and drawn
+        # from the valid range (the ring keeps *some* recent window —
+        # which events survive depends on interleaving, but order and
+        # integrity must hold).
+        seqs = [d["seq"] for d in dicts]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert all(0 <= s < writers * per_writer for s in seqs)
+        # No torn records: each event's fields agree with its message.
+        for d in dicts:
+            wid, i = d["fields"]["wid"], d["fields"]["i"]
+            assert d["message"] == f"{wid}:{i}"
+            assert d["kind"] == f"w{wid}"
+            assert d["time"] == float(i)
+
+
 def _populated_registry() -> MetricsRegistry:
     reg = MetricsRegistry()
     reg.counter(names.SKETCH_INSERTS_TOTAL, "Items inserted.",
@@ -257,6 +310,32 @@ class TestPrometheusExport:
         assert "two\\nlines" in text
         families = obs.parse_prometheus(text)
         assert families[names.ENGINE_BATCHES_TOTAL]["help"] == "two\nlines"
+
+    def test_help_literal_backslash_n_round_trips(self):
+        # A HELP string containing the two characters backslash+n must
+        # come back as those characters, not a newline. (Chained
+        # str.replace unescaping corrupts this: the escaped form
+        # ``\\n`` has its tail ``\n`` rewritten to a newline first.)
+        reg = MetricsRegistry()
+        tricky = "literal \\n stays; real\nbreak; trailing slash \\"
+        reg.counter(names.ENGINE_BATCHES_TOTAL, tricky).inc()
+        families = obs.parse_prometheus(obs.prometheus_text(reg))
+        assert families[names.ENGINE_BATCHES_TOTAL]["help"] == tricky
+
+    @pytest.mark.parametrize("value", [
+        "trailing backslash \\",
+        "\\n literal, not newline",
+        '\\" escaped-quote lookalike',
+        "\\\\ double backslash",
+        'all three: \\ "\n" \\n',
+    ])
+    def test_adversarial_label_values_round_trip(self, value):
+        reg = MetricsRegistry()
+        reg.counter(names.ENGINE_BATCHES_TOTAL,
+                    labels={"path": value}).inc()
+        families = obs.parse_prometheus(obs.prometheus_text(reg))
+        ((_, labels, _),) = families[names.ENGINE_BATCHES_TOTAL]["samples"]
+        assert labels["path"] == value
 
 
 class TestJsonExport:
@@ -385,6 +464,49 @@ class TestHttpEndpoint:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(url, timeout=5)
             assert excinfo.value.code == 404
+
+    @staticmethod
+    def _get_json(server, path):
+        url = f"http://{server.host}:{server.port}{path}"
+        return json.loads(urllib.request.urlopen(url, timeout=5).read())
+
+    def test_healthz_reports_liveness(self):
+        with obs.MetricsServer(port=0) as server:
+            payload = self._get_json(server, "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0.0
+
+    def test_statusz_reports_vitals(self):
+        reg = obs.enable(fresh=True)
+        reg.counter(names.SKETCH_INSERTS_TOTAL).inc()
+        with obs.MetricsServer(port=0) as server:
+            payload = self._get_json(server, "/statusz")
+        assert payload["status"] == "ok"
+        assert payload["obs_enabled"] is True
+        assert payload["registry_series"] == 1
+        for ring in ("sweep", "events", "spans"):
+            vitals = payload["rings"][ring]
+            assert set(vitals) == {"held", "capacity", "total_pushed"}
+        assert payload["trace_sample_every"] >= 0
+        assert payload["flight_recorder_installed"] is False
+
+    def test_trace_json_plain_and_chrome(self):
+        from repro.obs import trace as otrace
+        obs.enable(fresh=True)
+        try:
+            with otrace.span("endpoint.test", tag="x"):
+                pass
+            with obs.MetricsServer(port=0) as server:
+                plain = self._get_json(server, "/trace.json")
+                chrome = self._get_json(server,
+                                        "/trace.json?format=chrome")
+            assert [s["name"] for s in plain["spans"]] == ["endpoint.test"]
+            (event,) = chrome["traceEvents"]
+            assert event["ph"] == "X"
+            assert event["name"] == "endpoint.test"
+            assert event["args"]["tag"] == "x"
+        finally:
+            otrace.configure()
 
 
 class TestSketchInstrumentation:

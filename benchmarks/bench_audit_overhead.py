@@ -42,14 +42,8 @@ def test_audit_overhead(benchmark, record_result):
             result = retry
     record_result("audit_overhead", result)
 
-    payload = {
-        "title": result.title,
-        "columns": list(result.columns),
-        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
-        "budget_pct": result.extras["budget_pct"],
-    }
-    (RESULTS_DIR / "BENCH_audit_overhead.json").write_text(
-        json.dumps(payload, indent=2, default=float) + "\n")
+    # The table/ledger surfaces are record_result's job; only the bulky
+    # registry snapshot needs a dedicated artifact.
     (RESULTS_DIR / "BENCH_audit_metrics.json").write_text(
         json.dumps(result.extras["snapshot"], indent=2, sort_keys=True)
         + "\n")

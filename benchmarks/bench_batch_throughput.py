@@ -14,15 +14,15 @@ Set BATCH_BENCH_QUICK=1 for a reduced stream (CI smoke); the speedup
 floors are not asserted on the reduced stream.
 """
 
-import json
 import os
 
 import pytest
 
 from repro.bench.experiments import batch_throughput
+from repro.bench.harness import ExperimentResult
 from repro.kernels import numba_available
 
-from conftest import RESULTS_DIR, bench_payload, run_once
+from conftest import run_once
 
 QUICK = os.environ.get("BATCH_BENCH_QUICK", "") not in ("", "0")
 
@@ -30,9 +30,6 @@ QUICK = os.environ.get("BATCH_BENCH_QUICK", "") not in ("", "0")
 def test_batch_throughput(benchmark, record_result):
     result = run_once(benchmark, batch_throughput.run, quick=QUICK, seed=1)
     record_result("batch", result)
-
-    (RESULTS_DIR / "BENCH_batch.json").write_text(
-        json.dumps(bench_payload(result), indent=2, default=float) + "\n")
 
     if QUICK:
         return
@@ -54,26 +51,22 @@ def test_kernel_backend_speedup(benchmark, record_result):
     numpy_res, numba_res = run_once(benchmark, compare)
     record_result("kernel_numba", numba_res)
 
-    rows = []
+    comparison = ExperimentResult(
+        title="Kernel backends: numba vs numpy batch ingestion",
+        columns=["variant", "n_items", "numpy_ips", "numba_ips",
+                 "speedup"],
+    )
     for np_row, nb_row in zip(numpy_res.rows, numba_res.rows):
-        rows.append({
-            "variant": np_row["variant"],
-            "n_items": np_row["n_items"],
-            "numpy_ips": np_row["batch_ips"],
-            "numba_ips": nb_row["batch_ips"],
-            "speedup": nb_row["batch_ips"] / np_row["batch_ips"],
-        })
-    payload = {
-        "title": "Kernel backends: numba vs numpy batch ingestion",
-        "columns": ["variant", "n_items", "numpy_ips", "numba_ips",
-                    "speedup"],
-        "rows": rows,
-        "kernel": {"compared": ["numpy", "numba"]},
-    }
-    (RESULTS_DIR / "BENCH_kernel_backends.json").write_text(
-        json.dumps(payload, indent=2, default=float) + "\n")
+        comparison.add(
+            variant=np_row["variant"],
+            n_items=np_row["n_items"],
+            numpy_ips=np_row["batch_ips"],
+            numba_ips=nb_row["batch_ips"],
+            speedup=nb_row["batch_ips"] / np_row["batch_ips"],
+        )
+    record_result("kernel_backends", comparison)
 
     if QUICK:
         return
-    for row in rows:
+    for row in comparison.rows:
         assert row["speedup"] >= 2.0, row

@@ -13,12 +13,11 @@ numbers, it just cannot assert a speedup it is physically denied.
 Set SHARD_BENCH_QUICK=1 for a reduced stream (CI smoke).
 """
 
-import json
 import os
 
 from repro.bench.experiments import shard_scaling
 
-from conftest import RESULTS_DIR, bench_payload, run_once
+from conftest import run_once
 
 QUICK = os.environ.get("SHARD_BENCH_QUICK", "") not in ("", "0")
 
@@ -26,9 +25,6 @@ QUICK = os.environ.get("SHARD_BENCH_QUICK", "") not in ("", "0")
 def test_shard_scaling(benchmark, record_result):
     result = run_once(benchmark, shard_scaling.run, quick=QUICK, seed=1)
     record_result("shard_scaling", result)
-
-    (RESULTS_DIR / "BENCH_shard_scaling.json").write_text(
-        json.dumps(bench_payload(result), indent=2, default=float) + "\n")
 
     for row in result.rows:
         assert row["ips"] > 0

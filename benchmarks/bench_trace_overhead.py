@@ -18,12 +18,11 @@ converges toward the true cost — a genuine budget regression fails all
 attempts.
 """
 
-import json
 import os
 
 from repro.bench.experiments import trace_overhead
 
-from conftest import RESULTS_DIR, run_once
+from conftest import run_once
 
 MAX_ATTEMPTS = 3
 
@@ -42,16 +41,6 @@ def test_trace_overhead(benchmark, record_result):
         if _worst(retry) < _worst(result):
             result = retry
     record_result("trace_overhead", result)
-
-    payload = {
-        "title": result.title,
-        "columns": list(result.columns),
-        "rows": [{k: row[k] for k in result.columns} for row in result.rows],
-        "budget_pct": result.extras["budget_pct"],
-        "spans_recorded": result.extras["spans_recorded"],
-    }
-    (RESULTS_DIR / "BENCH_trace_overhead.json").write_text(
-        json.dumps(payload, indent=2, default=float) + "\n")
 
     assert result.extras["spans_recorded"] > 0, (
         "traced side recorded no spans — the workload is not exercising "

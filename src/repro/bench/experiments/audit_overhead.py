@@ -21,12 +21,11 @@ state while the ``audit_cycles`` column reports how many ran).
 
 from __future__ import annotations
 
-from time import perf_counter
-
 from ...monitor import ItemBatchMonitor
 from ...obs import runtime as _obs
 from ...timebase import count_window
 from ..harness import ExperimentResult, cached_trace
+from ..stats import chunked_times, interleaved_times, median, overhead_pct
 
 #: Documented ceiling for audit-enabled ingest overhead at 1% sampling.
 OVERHEAD_BUDGET_PCT = 10.0
@@ -48,59 +47,27 @@ def _build_monitor(seed: int, window: int,
     return monitor
 
 
-def _ingest_chunked(monitor: ItemBatchMonitor, keys,
-                    chunk: int) -> "list[float]":
-    """Per-full-chunk ``observe_many`` wall times (trailing rest untimed)."""
-    times: "list[float]" = []
-    total = len(keys)
-    pos = 0
-    while pos + chunk <= total:
-        started = perf_counter()
-        monitor.observe_many(keys[pos:pos + chunk])
-        times.append(perf_counter() - started)
-        pos += chunk
-    if pos < total:
-        monitor.observe_many(keys[pos:])
-    return times
-
-
 def _measure(seed: int, window: int, sample_rate: float, keys, chunk: int,
              repeats: int) -> "tuple[list[float], list[float], object]":
-    """Interleaved per-chunk times: (base, audited, final auditor)."""
-    _ingest_chunked(_build_monitor(seed, window, None), keys, chunk)
-    _ingest_chunked(_build_monitor(seed, window, sample_rate), keys, chunk)
+    """Interleaved per-chunk times: (base, audited, final auditor).
 
-    base_secs: "list[float]" = []
-    audit_secs: "list[float]" = []
+    The shared estimator (:mod:`repro.bench.stats`) handles the warmup
+    runs, the order alternation, and the per-chunk timing.
+    """
     auditor = None
 
-    def run_base() -> None:
-        base_secs.extend(
-            _ingest_chunked(_build_monitor(seed, window, None), keys, chunk)
-        )
+    def run_base() -> "list[float]":
+        monitor = _build_monitor(seed, window, None)
+        return chunked_times(monitor.observe_many, keys, chunk)
 
-    def run_audited() -> None:
+    def run_audited() -> "list[float]":
         nonlocal auditor
         monitor = _build_monitor(seed, window, sample_rate)
         auditor = monitor.auditor
-        audit_secs.extend(_ingest_chunked(monitor, keys, chunk))
+        return chunked_times(monitor.observe_many, keys, chunk)
 
-    for r in range(repeats):
-        if r % 2 == 0:
-            run_base()
-            run_audited()
-        else:
-            run_audited()
-            run_base()
+    base_secs, audit_secs = interleaved_times(run_base, run_audited, repeats)
     return base_secs, audit_secs, auditor
-
-
-def _median(values: "list[float]") -> float:
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[mid]
-    return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
 def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
@@ -135,13 +102,10 @@ def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
         base_secs, audit_secs, auditor = _measure(
             seed, window, sample_rate, keys, chunk, repeats)
         snapshot = _obs.registry().snapshot()
-        base_ips = chunk / _median(base_secs)
-        audit_ips = chunk / _median(audit_secs)
-        ratio = _median([a / b for a, b in zip(audit_secs, base_secs)])
-        overhead = max(0.0, (ratio - 1.0) * 100.0)
         result.add(sample_rate=sample_rate, n_items=len(keys),
-                   base_ips=base_ips, audit_ips=audit_ips,
-                   overhead_pct=overhead,
+                   base_ips=chunk / median(base_secs),
+                   audit_ips=chunk / median(audit_secs),
+                   overhead_pct=overhead_pct(base_secs, audit_secs),
                    audit_cycles=auditor.cycles if auditor else 0)
     finally:
         if was_enabled:

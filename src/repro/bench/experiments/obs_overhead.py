@@ -24,8 +24,10 @@ machine-wide load spikes and frequency ramps; pairing cancels drift at
 the one-run time scale, alternating the order cancels any bias that
 systematically penalises whichever side runs second, and the median
 over ``repeats × (n_items // chunk)`` pair ratios discards the chunks
-that straddled a spike. The ``base_ips``/``obs_ips`` columns report
-each side's median per-chunk throughput for context.
+that straddled a spike. The estimator is shared with the other
+overhead guards — it lives in :mod:`repro.bench.stats`. The
+``base_ips``/``obs_ips`` columns report each side's median per-chunk
+throughput for context.
 
 ``run`` also captures a full registry snapshot from the final
 instrumented run into ``result.extras["snapshot"]`` so the benchmark
@@ -34,10 +36,9 @@ can archive it (and CI can upload it as an artifact).
 
 from __future__ import annotations
 
-from time import perf_counter
-
 from ...obs import runtime as _obs
 from ..harness import ExperimentResult, cached_trace
+from ..stats import chunked_times, interleaved_times, median, overhead_pct
 from .batch_throughput import CONFIGS, _build
 
 #: Documented ceiling for enabled-mode overhead on batch ingest.
@@ -48,69 +49,32 @@ DEFAULT_CHUNK = 4096
 DEFAULT_REPEATS = 3
 
 
-def _ingest_chunked(sketch, keys, chunk: int) -> "list[float]":
-    """Feed ``keys`` through ``insert_many`` in chunks.
-
-    Returns the wall time of every *full-size* chunk; the trailing
-    partial chunk (if any) is ingested but not timed, so every sample
-    measures identical work.
-    """
-    times: "list[float]" = []
-    total = len(keys)
-    pos = 0
-    while pos + chunk <= total:
-        started = perf_counter()
-        sketch.insert_many(keys[pos:pos + chunk])
-        times.append(perf_counter() - started)
-        pos += chunk
-    if pos < total:
-        sketch.insert_many(keys[pos:])
-    return times
-
-
 def _measure_variant(name: str, seed: int, keys, chunk: int,
                      repeats: int) -> "tuple[list[float], list[float], object]":
     """Interleaved per-chunk times plus the final instrumented sketch.
 
-    One unmeasured warmup run per side first, then ``repeats`` measured
-    runs of each side in alternating order, pooling every run's
-    per-chunk samples.
+    The estimator lives in :mod:`repro.bench.stats`: one unmeasured
+    warmup run per side, then ``repeats`` order-alternating measured
+    runs pooling every run's per-chunk samples. The registry is made
+    fresh once up front so warmup and measured instrumented runs
+    accumulate into the snapshot the caller archives.
     """
-    _obs.disable()
-    _ingest_chunked(_build(name, seed), keys, chunk)
     _obs.enable(fresh=True)
-    _ingest_chunked(_build(name, seed), keys, chunk)
-
-    base_secs: "list[float]" = []
-    obs_secs: "list[float]" = []
+    _obs.disable()
     sketch = None
 
-    def run_base() -> None:
+    def run_base() -> "list[float]":
         _obs.disable()
-        base_secs.extend(_ingest_chunked(_build(name, seed), keys, chunk))
+        return chunked_times(_build(name, seed).insert_many, keys, chunk)
 
-    def run_obs() -> None:
+    def run_obs() -> "list[float]":
         nonlocal sketch
         _obs.enable(fresh=False)
         sketch = _build(name, seed)
-        obs_secs.extend(_ingest_chunked(sketch, keys, chunk))
+        return chunked_times(sketch.insert_many, keys, chunk)
 
-    for r in range(repeats):
-        if r % 2 == 0:
-            run_base()
-            run_obs()
-        else:
-            run_obs()
-            run_base()
+    base_secs, obs_secs = interleaved_times(run_base, run_obs, repeats)
     return base_secs, obs_secs, sketch
-
-
-def _median(values: "list[float]") -> float:
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[mid]
-    return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
 def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
@@ -151,12 +115,10 @@ def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
             snapshot = registry.snapshot()
             _obs.disable()
 
-            base_ips = chunk / _median(base_secs)
-            obs_ips = chunk / _median(obs_secs)
-            ratio = _median([o / b for o, b in zip(obs_secs, base_secs)])
-            overhead = max(0.0, (ratio - 1.0) * 100.0)
-            result.add(variant=name, n_items=len(keys), base_ips=base_ips,
-                       obs_ips=obs_ips, overhead_pct=overhead)
+            result.add(variant=name, n_items=len(keys),
+                       base_ips=chunk / median(base_secs),
+                       obs_ips=chunk / median(obs_secs),
+                       overhead_pct=overhead_pct(base_secs, obs_secs))
     finally:
         if was_enabled:
             _obs.enable(fresh=False)

@@ -13,8 +13,9 @@ between the sides is the tracer's sampling rate: ``sample_every=0``
 a monitor-root trace with engine children, and the sharded variant adds
 scatter/ingest/merge spans).
 
-The estimator is the same interleaved median-of-ratios used by
-``obs_overhead``: chunked ``ItemBatchMonitor.observe_many`` calls, one
+The estimator is the shared interleaved median-of-ratios from
+:mod:`repro.bench.stats` (also used by ``obs_overhead`` and
+``audit_overhead``): chunked ``ItemBatchMonitor.observe_many`` calls, one
 unmeasured warmup per side, ``repeats`` order-alternating runs, each
 full-size chunk timed individually, overhead = median of pairwise
 ``traced_chunk_i / base_chunk_i`` ratios (drift cancels per pair, order
@@ -27,13 +28,12 @@ router — adds the scatter/merge span layer on the same thread).
 
 from __future__ import annotations
 
-from time import perf_counter
-
 from ...monitor import ItemBatchMonitor
 from ...obs import runtime as _obs
 from ...obs import trace as _trace
 from ...timebase import count_window
 from ..harness import ExperimentResult, cached_trace
+from ..stats import chunked_times, interleaved_times, median, overhead_pct
 
 #: Documented ceiling for default-sampling tracing overhead.
 OVERHEAD_BUDGET_PCT = 10.0
@@ -54,60 +54,23 @@ def _build(variant: str, seed: int) -> ItemBatchMonitor:
                                     shards=2, router="serial")
 
 
-def _ingest_chunked(monitor: ItemBatchMonitor, keys,
-                    chunk: int) -> "list[float]":
-    """Feed ``keys`` through ``observe_many`` in chunks.
-
-    Returns the wall time of every *full-size* chunk; the trailing
-    partial chunk (if any) is ingested but not timed, so every sample
-    measures identical work.
-    """
-    times: "list[float]" = []
-    total = len(keys)
-    pos = 0
-    while pos + chunk <= total:
-        started = perf_counter()
-        monitor.observe_many(keys[pos:pos + chunk])
-        times.append(perf_counter() - started)
-        pos += chunk
-    if pos < total:
-        monitor.observe_many(keys[pos:])
-    return times
-
-
 def _measure_variant(variant: str, seed: int, keys, chunk: int,
                      repeats: int) -> "tuple[list[float], list[float]]":
-    """Interleaved per-chunk times: tracing off vs on, metrics on."""
+    """Interleaved per-chunk times: tracing off vs on, metrics on.
+
+    Warmup, order alternation, and per-chunk timing come from the
+    shared estimator in :mod:`repro.bench.stats`.
+    """
 
     def ingest(sample_every: int) -> "list[float]":
         _trace.configure(sample_every=sample_every)
         monitor = _build(variant, seed)
         try:
-            return _ingest_chunked(monitor, keys, chunk)
+            return chunked_times(monitor.observe_many, keys, chunk)
         finally:
             monitor.close()
 
-    ingest(0)  # warmup, untraced side
-    ingest(1)  # warmup, traced side
-
-    base_secs: "list[float]" = []
-    traced_secs: "list[float]" = []
-    for r in range(repeats):
-        if r % 2 == 0:
-            base_secs.extend(ingest(0))
-            traced_secs.extend(ingest(1))
-        else:
-            traced_secs.extend(ingest(1))
-            base_secs.extend(ingest(0))
-    return base_secs, traced_secs
-
-
-def _median(values: "list[float]") -> float:
-    ordered = sorted(values)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[mid]
-    return 0.5 * (ordered[mid - 1] + ordered[mid])
+    return interleaved_times(lambda: ingest(0), lambda: ingest(1), repeats)
 
 
 def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
@@ -144,13 +107,10 @@ def run(quick: bool = False, seed: int = 1, n_items: int = DEFAULT_ITEMS,
                 variant, seed, keys, chunk, repeats)
             spans_recorded = max(spans_recorded,
                                  _trace.tracer().ring.total_pushed)
-            base_ips = chunk / _median(base_secs)
-            traced_ips = chunk / _median(traced_secs)
-            ratio = _median([t / b for t, b in zip(traced_secs, base_secs)])
-            overhead = max(0.0, (ratio - 1.0) * 100.0)
             result.add(variant=variant, n_items=len(keys),
-                       base_ips=base_ips, traced_ips=traced_ips,
-                       overhead_pct=overhead)
+                       base_ips=chunk / median(base_secs),
+                       traced_ips=chunk / median(traced_secs),
+                       overhead_pct=overhead_pct(base_secs, traced_secs))
     finally:
         _trace.configure()  # back to defaults (fresh ring, sample all)
         if was_enabled:

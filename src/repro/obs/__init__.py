@@ -27,6 +27,10 @@ A low-overhead observability layer for the clock-sketch stack:
   JSON bundles of the last-N spans, both rings, and a full metrics
   snapshot cut automatically on shard-worker / backpressure /
   sanitizer errors;
+- performance observability (:mod:`repro.obs.perf`, imported lazily):
+  a persistent JSONL benchmark ledger, committed baselines with
+  MAD-noise-band regression verdicts, and explanatory metric deltas —
+  ``python -m repro.obs perf {record,compare,trend,report}``;
 - an optional stdlib HTTP endpoint (:class:`MetricsServer`, imported
   lazily — see :mod:`repro.obs.http`) and a CLI
   (``python -m repro.obs``).
@@ -116,6 +120,7 @@ __all__ = [
     "audit",
     "trace",
     "flight",
+    "perf",
 ]
 
 
@@ -129,7 +134,7 @@ def __getattr__(name: str) -> Any:
     if name == "MetricsServer":
         from .http import MetricsServer
         return MetricsServer
-    if name in ("audit", "trace", "flight"):
+    if name in ("audit", "trace", "flight", "perf"):
         import importlib
         return importlib.import_module(f"{__name__}.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

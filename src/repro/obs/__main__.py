@@ -29,6 +29,14 @@ Chrome trace, or reads those back out of a flight-recorder bundle::
     python -m repro.obs trace --demo --crash --router process --shards 4
     python -m repro.obs trace --input flightdumps/flight-....json \\
         --chrome trace.json
+
+The ``perf`` subcommand drives the persistent benchmark ledger and its
+noise-aware regression gate (:mod:`repro.obs.perf`)::
+
+    python -m repro.obs perf record --bench obs --quick
+    python -m repro.obs perf baseline --bench obs --quick --last 5
+    python -m repro.obs perf compare     # exit 1 on a real regression
+    python -m repro.obs perf trend --bench obs --metric overhead_pct
 """
 
 from __future__ import annotations
@@ -152,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--demo", action="store_true",
                        help="drive the synthetic stream (the default "
                             "action when --input is not given)")
+
+    # Import here, not at module top: the perf tree pulls in the bench
+    # experiment registry, which exposition users never need.
+    from .perf.cli import add_perf_subparser
+    add_perf_subparser(sub)
     return parser
 
 
@@ -324,6 +337,9 @@ def main(argv: "list[str] | None" = None) -> int:
         return run_audit(args)
     if getattr(args, "command", None) == "trace":
         return run_trace(args)
+    if getattr(args, "command", None) == "perf":
+        from .perf.cli import run_perf
+        return run_perf(args)
 
     # Import lazily: the dataset synthesizers pull in the heavier parts
     # of the library, which pure exposition users never need.

@@ -10,7 +10,10 @@ operational endpoints:
   size, ring fill, tracer state, last flight-recorder dump path);
 - ``/trace.json`` — the live span ring
   (:func:`repro.obs.trace.snapshot`); ``?format=chrome`` renders it as
-  a Chrome trace-event document loadable in Perfetto.
+  a Chrome trace-event document loadable in Perfetto;
+- ``/perf.json`` — the performance ledger tail and the last
+  current-vs-baseline comparison
+  (:func:`repro.obs.perf.perf_payload`).
 
 Intended for local scraping and the ``examples/metrics_endpoint.py``
 snippet; it is not a hardened production server.
@@ -56,6 +59,11 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                 payload = _trace.snapshot()
             body = json.dumps(payload, indent=2, default=str).encode("utf-8")
             content_type = "application/json; charset=utf-8"
+        elif path == "/perf.json":
+            from . import perf as _perf
+            body = json.dumps(_perf.perf_payload(), indent=2,
+                              default=str).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         elif path == "/healthz":
             body = json.dumps({
                 "status": "ok",
@@ -69,7 +77,7 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         else:
             self.send_error(
                 404, "try /metrics, /metrics.json, /trace.json, "
-                     "/healthz or /statusz")
+                     "/perf.json, /healthz or /statusz")
             return
         self.send_response(200)
         self.send_header("Content-Type", content_type)

@@ -71,6 +71,11 @@ __all__ = [
     "TRACE_SPANS_TOTAL",
     "TRACE_TRACES_TOTAL",
     "FLIGHT_DUMPS_TOTAL",
+    # performance ledger (repro.obs.perf)
+    "PERF_RECORDS_TOTAL",
+    "PERF_COMPARES_TOTAL",
+    "PERF_REGRESSIONS_TOTAL",
+    "PERF_HEADLINE",
     # span names (repro.obs.trace)
     "SPAN_MONITOR_OBSERVE",
     "SPAN_ENGINE_BATCH",
@@ -193,6 +198,18 @@ TRACE_SPANS_TOTAL = "repro_trace_spans_total"
 TRACE_TRACES_TOTAL = "repro_trace_traces_total"
 #: Flight-recorder bundles written, labelled by ``{reason}``.
 FLIGHT_DUMPS_TOTAL = "repro_flight_dumps_total"
+
+# ----------------------------------------------------------------------- perf
+#: Benchmark runs appended to the performance ledger, labelled ``{bench}``.
+PERF_RECORDS_TOTAL = "repro_perf_records_total"
+#: Current-vs-baseline comparisons evaluated, labelled ``{status}``
+#: (``improved``/``flat``/``regressed``/``insufficient``/``skipped``).
+PERF_COMPARES_TOTAL = "repro_perf_compares_total"
+#: Comparisons that classified as an actionable regression, labelled
+#: ``{bench}``.
+PERF_REGRESSIONS_TOTAL = "repro_perf_regressions_total"
+#: Last recorded headline scalar, labelled ``{bench, metric}`` (gauge).
+PERF_HEADLINE = "repro_perf_headline"
 
 # ----------------------------------------------------------- span vocabulary
 # Span names are part of the same operational contract as metric names:

@@ -505,7 +505,9 @@ def _obs_aliases(mod: ModuleInfo) -> Set[str]:
     for local, target in mod.imports.items():
         if target == "repro.obs" or target.endswith(".obs") \
                 or target.endswith("obs.runtime") \
-                or target.endswith("obs.trace"):
+                or target.endswith("obs.trace") \
+                or target.endswith("obs.perf") \
+                or target.endswith("obs.perf.telemetry"):
             aliases.add(local)
     return aliases
 

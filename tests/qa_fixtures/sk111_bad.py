@@ -2,6 +2,7 @@
 
 from ..obs import runtime as _obs
 from ..obs import trace as _trace
+from ..obs import perf as _perf
 
 
 def insert_many(sketch, items):
@@ -29,3 +30,11 @@ def absorb_acks(acks):
         # into the span ring and bumps counters without checking the
         # switchboard first.
         _trace.record_spans(spans)
+
+
+def flush_batch(sketch, items, headlines):
+    sketch.apply(items)
+    # BAD: perf publishers write repro_perf_* series through the live
+    # registry; on a hot path they need the same ENABLED guard as any
+    # other recorder.
+    _perf.publish_record(type(sketch).__name__, headlines)

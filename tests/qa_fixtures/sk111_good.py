@@ -2,6 +2,7 @@
 
 from ..obs import runtime as _obs
 from ..obs import trace as _trace
+from ..obs import perf as _perf
 
 
 def insert_many(sketch, items):
@@ -30,6 +31,12 @@ def absorb_acks(acks):
     for _shard, _seq, _status, _detail, spans in acks:
         if spans and _obs.ENABLED:
             _trace.record_spans(spans)
+
+
+def flush_batch(sketch, items, headlines):
+    sketch.apply(items)
+    if _obs.ENABLED:
+        _perf.publish_record(type(sketch).__name__, headlines)
 
 
 def audit_cycle(report):

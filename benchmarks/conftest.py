@@ -43,6 +43,7 @@ QUICK_ENV_VARS = (
     "TRACE_BENCH_QUICK",
     "SHARD_BENCH_QUICK",
     "BATCH_BENCH_QUICK",
+    "SERVE_BENCH_QUICK",
 )
 
 

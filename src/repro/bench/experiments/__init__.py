@@ -24,6 +24,7 @@ from . import (
     fig13_cache_hitrate,
     fig13x_cache_policies,
     obs_overhead,
+    serve_throughput,
     shard_scaling,
     table3_throughput,
 )
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "table3": table3_throughput.run,
     "batch": batch_throughput.run,
     "obs": obs_overhead.run,
+    "serve": serve_throughput.run,
     "shard": shard_scaling.run,
     "audit": audit_overhead.run,
     "ablation1": ablation_error_window.run,

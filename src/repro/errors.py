@@ -96,3 +96,69 @@ class ShardWorkerError(ShardError):
         self.failed = dict(failed or {})
         self.pending = dict(pending or {})
         _notify_flight("shard-worker", self)
+
+
+class ServeError(ReproError):
+    """Base class for ingestion-service failures (see :mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A request violated the line protocol; maps to a typed wire error.
+
+    Every protocol error carries a stable machine-readable ``code``
+    (part of the wire contract, see ``docs/serving.md``) and a
+    ``retryable`` flag telling well-behaved clients whether the same
+    request may succeed later.
+    """
+
+    code = "bad-request"
+    retryable = False
+
+    def __init__(self, message: str, *, code: "str | None" = None,
+                 retryable: "bool | None" = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        if retryable is not None:
+            self.retryable = retryable
+
+
+class BadFrameError(ProtocolError):
+    """A frame was not a parseable protocol line (bad JSON, oversized,
+    or not a JSON object). The connection cannot be resynchronised."""
+
+    code = "bad-frame"
+
+
+class UnknownTenantError(ProtocolError):
+    """The request named a tenant that does not exist (and auto-create
+    is disabled for it)."""
+
+    code = "unknown-tenant"
+
+
+class AdmissionError(ProtocolError):
+    """Admission control rejected the request (tenant limit reached or
+    a batch beyond the tenant's configured maximum)."""
+
+    code = "admission"
+
+
+class TenantQuarantinedError(ProtocolError):
+    """The tenant's engine failed earlier and was quarantined.
+
+    Commands against a quarantined tenant fail fast with this error
+    (the original failure is preserved in the message) instead of
+    wedging the connection; other tenants are unaffected.
+    """
+
+    code = "quarantined"
+
+    def __init__(self, message: str, *, code: "str | None" = None,
+                 retryable: "bool | None" = None) -> None:
+        super().__init__(message, code=code, retryable=retryable)
+        _notify_flight("tenant-quarantined", self)
+
+
+class CheckpointError(ServeError):
+    """A checkpoint could not be written or no intact one could be read."""

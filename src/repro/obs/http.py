@@ -74,10 +74,15 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             body = json.dumps(owner.status(), indent=2,
                               default=str).encode("utf-8")
             content_type = "application/json; charset=utf-8"
+        elif path in owner.pages:
+            body = json.dumps(owner.pages[path](), indent=2,
+                              default=str).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         else:
-            self.send_error(
-                404, "try /metrics, /metrics.json, /trace.json, "
-                     "/perf.json, /healthz or /statusz")
+            known = ", ".join(
+                ["/metrics", "/metrics.json", "/trace.json", "/perf.json",
+                 "/healthz", "/statusz"] + sorted(owner.pages))
+            self.send_error(404, f"try {known}")
             return
         self.send_response(200)
         self.send_header("Content-Type", content_type)
@@ -121,6 +126,18 @@ class MetricsServer:
         self._server: "Optional[ThreadingHTTPServer]" = None
         self._thread: "Optional[threading.Thread]" = None
         self._started_at: "Optional[float]" = None
+        #: Extra JSON pages: absolute path -> zero-arg payload provider.
+        #: Subsystems extend the exposition surface here (e.g. the
+        #: ingestion service registers ``/serve.json``).
+        self.pages: "Dict[str, Callable[[], Any]]" = {}
+
+    def add_json_page(self, path: str,
+                      provider: "Callable[[], Any]") -> "MetricsServer":
+        """Expose ``provider()`` as JSON at ``path`` (must start with /)."""
+        if not path.startswith("/"):
+            raise ValueError(f"page path must start with '/', got {path!r}")
+        self.pages[path] = provider
+        return self
 
     @property
     def port(self) -> int:
@@ -167,6 +184,7 @@ class MetricsServer:
             "trace_sample_every": tracer.sample_every,
             "flight_recorder_installed": flight.recorder() is not None,
             "last_flight_dump": flight.last_dump_path(),
+            "extra_pages": sorted(self.pages),
         }
 
     def start(self) -> "MetricsServer":

@@ -71,6 +71,17 @@ __all__ = [
     "TRACE_SPANS_TOTAL",
     "TRACE_TRACES_TOTAL",
     "FLIGHT_DUMPS_TOTAL",
+    # ingestion service (repro.serve)
+    "SERVE_CONNECTIONS_TOTAL",
+    "SERVE_CONNECTIONS_OPEN",
+    "SERVE_COMMANDS_TOTAL",
+    "SERVE_ERRORS_TOTAL",
+    "SERVE_ITEMS_TOTAL",
+    "SERVE_TENANTS",
+    "SERVE_QUARANTINES_TOTAL",
+    "SERVE_CHECKPOINTS_TOTAL",
+    "SERVE_CHECKPOINT_SECONDS",
+    "SERVE_RESTORES_TOTAL",
     # performance ledger (repro.obs.perf)
     "PERF_RECORDS_TOTAL",
     "PERF_COMPARES_TOTAL",
@@ -198,6 +209,29 @@ TRACE_SPANS_TOTAL = "repro_trace_spans_total"
 TRACE_TRACES_TOTAL = "repro_trace_traces_total"
 #: Flight-recorder bundles written, labelled by ``{reason}``.
 FLIGHT_DUMPS_TOTAL = "repro_flight_dumps_total"
+
+# ---------------------------------------------------------------------- serve
+#: Client connections accepted by the ingestion service.
+SERVE_CONNECTIONS_TOTAL = "repro_serve_connections_total"
+#: Client connections currently open (gauge).
+SERVE_CONNECTIONS_OPEN = "repro_serve_connections_open"
+#: Protocol commands executed successfully, labelled ``{tenant, op}``.
+SERVE_COMMANDS_TOTAL = "repro_serve_commands_total"
+#: Error responses sent, labelled by wire error ``{code}``.
+SERVE_ERRORS_TOTAL = "repro_serve_errors_total"
+#: Stream items ingested through the service, labelled ``{tenant}``.
+SERVE_ITEMS_TOTAL = "repro_serve_items_total"
+#: Tenants currently resident (gauge).
+SERVE_TENANTS = "repro_serve_tenants"
+#: Tenants quarantined after an engine failure, labelled ``{tenant}``.
+SERVE_QUARANTINES_TOTAL = "repro_serve_quarantines_total"
+#: Checkpoints written, labelled ``{tenant}``.
+SERVE_CHECKPOINTS_TOTAL = "repro_serve_checkpoints_total"
+#: Wall-clock seconds per checkpoint write (log-2 buckets).
+SERVE_CHECKPOINT_SECONDS = "repro_serve_checkpoint_seconds"
+#: Restore attempts at service start, labelled ``{tenant, outcome}``
+#: (``restored``/``fallback``/``fresh``).
+SERVE_RESTORES_TOTAL = "repro_serve_restores_total"
 
 # ----------------------------------------------------------------------- perf
 #: Benchmark runs appended to the performance ledger, labelled ``{bench}``.

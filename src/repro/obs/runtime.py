@@ -65,6 +65,13 @@ __all__ = [
     "sample_clock",
     "publish_sketch",
     "publish_monitor",
+    "record_serve_connection",
+    "record_serve_command",
+    "record_serve_error",
+    "record_serve_quarantine",
+    "record_serve_checkpoint",
+    "record_serve_restore",
+    "publish_serve_tenants",
 ]
 
 DEFAULT_RING_CAPACITY = 1024
@@ -513,6 +520,108 @@ def record_shard_merge(sketch: str, shards: int, seconds: float) -> None:
     merges_c, seconds_h = series
     merges_c.inc()
     seconds_h.observe(seconds)
+
+
+def record_serve_connection(delta: int, open_now: int) -> None:
+    """A client connection opened (``delta=1``) or closed (``delta=-1``)."""
+    series = _SERIES.get("serve_conn")
+    if series is None:
+        reg = registry()
+        series = (
+            reg.counter(names.SERVE_CONNECTIONS_TOTAL,
+                        "Client connections accepted."),
+            reg.gauge(names.SERVE_CONNECTIONS_OPEN,
+                      "Client connections currently open."),
+        )
+        _SERIES["serve_conn"] = series
+    total_c, open_g = series
+    if delta > 0:
+        total_c.inc(delta)
+    open_g.set(open_now)
+
+
+def record_serve_command(tenant: str, op: str, items: int = 0) -> None:
+    """One successful protocol command (plus its ingested item count)."""
+    key = ("serve_cmd", tenant, op)
+    series = _SERIES.get(key)
+    if series is None:
+        reg = registry()
+        series = (
+            reg.counter(names.SERVE_COMMANDS_TOTAL,
+                        "Protocol commands executed successfully.",
+                        labels={"tenant": tenant, "op": op}),
+            reg.counter(names.SERVE_ITEMS_TOTAL,
+                        "Stream items ingested through the service.",
+                        labels={"tenant": tenant}),
+        )
+        _SERIES[key] = series
+    commands_c, items_c = series
+    commands_c.inc()
+    if items:
+        items_c.inc(items)
+
+
+def record_serve_error(code: str) -> None:
+    """One typed error response sent on the wire, by error code."""
+    key = ("serve_err", code)
+    counter = _SERIES.get(key)
+    if counter is None:
+        counter = registry().counter(
+            names.SERVE_ERRORS_TOTAL, "Error responses sent on the wire.",
+            labels={"code": code})
+        _SERIES[key] = counter
+    counter.inc()
+
+
+def record_serve_quarantine(tenant: str) -> None:
+    """A tenant was quarantined after an engine failure."""
+    key = ("serve_quarantine", tenant)
+    counter = _SERIES.get(key)
+    if counter is None:
+        counter = registry().counter(
+            names.SERVE_QUARANTINES_TOTAL,
+            "Tenants quarantined after an engine failure.",
+            labels={"tenant": tenant})
+        _SERIES[key] = counter
+    counter.inc()
+
+
+def record_serve_checkpoint(tenant: str, seconds: float) -> None:
+    """One checkpoint written for a tenant."""
+    key = ("serve_ckpt", tenant)
+    series = _SERIES.get(key)
+    if series is None:
+        reg = registry()
+        series = (
+            reg.counter(names.SERVE_CHECKPOINTS_TOTAL,
+                        "Checkpoints written.", labels={"tenant": tenant}),
+            reg.histogram(names.SERVE_CHECKPOINT_SECONDS,
+                          "Wall-clock seconds per checkpoint write "
+                          "(log-2 buckets).", bounds=SECONDS_BOUNDS),
+        )
+        _SERIES[key] = series
+    checkpoints_c, seconds_h = series
+    checkpoints_c.inc()
+    seconds_h.observe(seconds)
+
+
+def record_serve_restore(tenant: str, outcome: str) -> None:
+    """One restore attempt resolved (restored / fallback / fresh)."""
+    key = ("serve_restore", tenant, outcome)
+    counter = _SERIES.get(key)
+    if counter is None:
+        counter = registry().counter(
+            names.SERVE_RESTORES_TOTAL,
+            "Restore attempts at service start, by outcome.",
+            labels={"tenant": tenant, "outcome": outcome})
+        _SERIES[key] = counter
+    counter.inc()
+
+
+def publish_serve_tenants(count: int) -> None:
+    """Publish the number of resident tenants."""
+    registry().gauge(names.SERVE_TENANTS,
+                     "Tenants currently resident.").set(count)
 
 
 def publish_monitor(memory_bits: int, split: "Mapping[str, float]") -> None:

@@ -8,7 +8,8 @@ graph (:mod:`repro.qa.flow.callgraph`), and four rules
 
 - **SK108** lock dominance over wrapped-sketch and shard-replica state
   (deepens and replaces sketch-lint's SK104);
-- **SK109** fault-path completeness in ``shard/`` and ``engine/``;
+- **SK109** fault-path completeness in ``shard/``, ``engine/`` and
+  ``serve/``;
 - **SK110** kernel-backend purity (no obs/env/globals/I-O,
   interprocedurally);
 - **SK111** ``_obs.ENABLED`` gating of hot-path instrumentation.

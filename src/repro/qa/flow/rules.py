@@ -14,7 +14,8 @@ a ``kind = "serial"`` router, a worker-process function). Dynamic
 against a module-level frozen string allowlist. Replaces SK104, whose
 suppression tokens now map here.
 
-``SK109`` **fault-path completeness** — in ``shard/`` and ``engine/``
+``SK109`` **fault-path completeness** — in ``shard/``, ``engine/``
+and ``serve/``
 no bare ``except``, no silently swallowed exceptions outside shutdown
 paths, and no overbroad ``except Exception`` that neither re-raises nor
 translates into the typed ``repro.errors`` family.
@@ -90,7 +91,8 @@ def flow_scope_for_path(path: str) -> FlowScope:
     in_repro = "repro" in parts
     return FlowScope(
         shard_scope="shard" in parts,
-        fault_scope="shard" in parts or "engine" in parts,
+        fault_scope=("shard" in parts or "engine" in parts
+                     or "serve" in parts),
         kernel_scope="kernels" in parts and name != "__init__.py",
         hot_scope=in_repro and (
             bool(parts & {"core", "engine", "shard", "hashing"})

@@ -1,0 +1,23 @@
+"""SK109 corpus, serve flavor: faults dropped on the serving path."""
+
+
+async def handle_frame(tenant, frame, writer):
+    try:
+        tenant.ingest(frame["keys"], frame.get("times"))
+    except Exception:
+        return None  # BAD: engine fault vanishes, frame never answered
+
+
+def restore_tenant(manager, name):
+    try:
+        return manager.restore(name)
+    except:  # noqa: E722  BAD: bare except hides torn checkpoints
+        return None
+
+
+async def sweep_checkpoints(service):
+    for tenant in service.tenants:
+        try:
+            service.checkpoints.write(tenant)
+        except OSError:
+            pass  # BAD: failed snapshot silently skipped mid-sweep

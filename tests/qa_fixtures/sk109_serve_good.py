@@ -1,0 +1,35 @@
+"""SK109 corpus, serve flavor, clean: every fault answers or retypes."""
+
+
+class CheckpointError(RuntimeError):
+    pass
+
+
+async def handle_frame(tenant, frame, writer, error_response):
+    try:
+        tenant.ingest(frame["keys"], frame.get("times"))
+    except Exception as exc:
+        writer.write(error_response(exc))
+
+
+def restore_tenant(manager, name, log):
+    try:
+        return manager.restore(name)
+    except (OSError, ValueError) as exc:
+        log.warning("falling back past damaged checkpoint: %s", exc)
+        return None
+
+
+async def sweep_checkpoints(service):
+    for tenant in service.tenants:
+        try:
+            service.checkpoints.write(tenant)
+        except OSError as exc:
+            raise CheckpointError(f"snapshot failed: {exc}") from exc
+
+
+def stop(writer):
+    try:
+        writer.close()
+    except ConnectionError:
+        pass  # shutdown path: the peer is already gone

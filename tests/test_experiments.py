@@ -20,13 +20,13 @@ class TestAllExperimentsRun:
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig13x", "table3", "batch", "obs", "audit",
-            "shard",
+            "shard", "serve",
             "ablation1", "ablation2", "ablation3", "ablation4", "ablation5",
         }
 
     @pytest.mark.parametrize("name", sorted(
         ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-         "fig12", "fig13", "fig13x", "table3", "batch", "shard",
+         "fig12", "fig13", "fig13x", "table3", "batch", "shard", "serve",
          "ablation1", "ablation2", "ablation3", "ablation4", "ablation5"]
     ))
     def test_produces_rows_and_renders(self, results, name):

@@ -67,9 +67,26 @@ class TestRules:
         # purity only binds under src/repro/kernels/.
         assert analyze_source(load("sk110_bad.py"),
                               "src/repro/metrics/fixture.py") == []
-        # Fault-path completeness only binds in shard/ and engine/.
+        # Fault-path completeness only binds in shard/, engine/ and
+        # serve/.
         assert analyze_source(load("sk109_bad.py"),
                               "src/repro/core/fixture.py") == []
+
+    def test_sk109_binds_on_the_serving_path(self):
+        # serve/ is fault scope: a dropped engine fault there means a
+        # frame that never gets its response.
+        findings = analyze_source(load("sk109_serve_bad.py"),
+                                  "src/repro/serve/fixture.py")
+        assert {f.rule for f in findings} == {"SK109"}
+        assert len(findings) == 3
+
+    def test_sk109_serve_good_fixture_is_silent(self):
+        assert analyze_source(load("sk109_serve_good.py"),
+                              "src/repro/serve/fixture.py") == []
+
+    def test_sk109_serve_fixture_outside_scope_is_silent(self):
+        assert analyze_source(load("sk109_serve_bad.py"),
+                              "src/repro/streams/fixture.py") == []
 
 
 class TestCfg:
